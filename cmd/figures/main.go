@@ -1,0 +1,95 @@
+// Command figures regenerates the data figures of the paper's evaluation
+// (Section V) as ASCII charts on stdout and CSV files on disk.
+//
+// Usage:
+//
+//	figures -fig 10a                    # one panel, default budget
+//	figures -fig all -jobs 100000000    # full paper fidelity (slow)
+//	figures -fig 9b -out results/       # CSV destination
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"finitelb/internal/figures"
+	"finitelb/internal/plot"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "figure to regenerate: 9a, 9b, 10a, 10b, 10c, 10d, or all")
+		jobs = flag.Int64("jobs", 2_000_000, "simulated jobs per data point (paper uses 1e8)")
+		seed = flag.Uint64("seed", 1, "base RNG seed")
+		out  = flag.String("out", ".", "directory for CSV output")
+	)
+	flag.Parse()
+
+	budget := figures.SimBudget{Jobs: *jobs, Seed: *seed}
+	run := func(name string) error {
+		switch name {
+		case "9a", "9b":
+			rho := 0.75
+			if name == "9b" {
+				rho = 0.95
+			}
+			chart, err := figures.Fig9(figures.DefaultFig9(rho), budget)
+			if err != nil {
+				return err
+			}
+			return emit(chart, filepath.Join(*out, "fig"+name+".csv"))
+		case "10a", "10b", "10c", "10d":
+			cfg := map[string]figures.Fig10Config{
+				"10a": figures.DefaultFig10(3, 2),
+				"10b": figures.DefaultFig10(3, 3),
+				"10c": figures.DefaultFig10(6, 3),
+				"10d": figures.DefaultFig10(12, 3),
+			}[name]
+			points, chart, err := figures.Fig10(cfg, budget)
+			if err != nil {
+				return err
+			}
+			if bad := figures.CheckFig10Invariants(points); len(bad) > 0 {
+				fmt.Fprintf(os.Stderr, "WARNING: %s invariant violations:\n", name)
+				for _, b := range bad {
+					fmt.Fprintf(os.Stderr, "  %s\n", b)
+				}
+			}
+			return emit(chart, filepath.Join(*out, "fig"+name+".csv"))
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+	}
+
+	names := []string{*fig}
+	if *fig == "all" {
+		names = []string{"9a", "9b", "10a", "10b", "10c", "10d"}
+	}
+	for _, name := range names {
+		fmt.Printf("=== Figure %s ===\n", name)
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// emit renders the chart to stdout and writes its CSV beside it.
+func emit(chart *plot.Chart, csvPath string) error {
+	if err := chart.Render(os.Stdout); err != nil {
+		return err
+	}
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := chart.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("(data written to %s)\n", csvPath)
+	return nil
+}

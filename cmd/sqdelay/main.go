@@ -1,0 +1,77 @@
+// Command sqdelay answers point queries about an SQ(d) system: the
+// finite-regime delay bounds of the paper, the asymptotic approximation,
+// an exact numerical solve (small N), and a simulation estimate.
+//
+// Usage:
+//
+//	sqdelay -n 6 -d 2 -rho 0.9 -t 3
+//	sqdelay -n 3 -d 2 -rho 0.8 -t 2 -exact -sim -jobs 5000000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"finitelb"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 6, "number of servers N")
+		d     = flag.Int("d", 2, "choices per arrival d")
+		rho   = flag.Float64("rho", 0.9, "per-server utilization ρ ∈ (0,1)")
+		t     = flag.Int("t", 3, "truncation threshold T ≥ 1")
+		exact = flag.Bool("exact", false, "also solve the exact chain (small N only)")
+		simF  = flag.Bool("sim", false, "also run the discrete-event simulator")
+		jobs  = flag.Int64("jobs", 2_000_000, "simulated jobs when -sim is set")
+		seed  = flag.Uint64("seed", 1, "simulation RNG seed")
+	)
+	flag.Parse()
+
+	sys, err := finitelb.NewSystem(*n, *d, *rho)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("SQ(%d) with N=%d servers at ρ=%g (T=%d)\n\n", *d, *n, *rho, *t)
+
+	lower, err := sys.LowerBound(*t)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("lower bound   %8.4f   (Theorem 3, block size %d)\n", lower.MeanDelay, lower.BlockSize)
+
+	upper, err := sys.UpperBound(*t)
+	switch {
+	case errors.Is(err, finitelb.ErrUnstable):
+		fmt.Printf("upper bound     unstable at this (ρ, T) — raise -t\n")
+	case err != nil:
+		fatal(err)
+	default:
+		fmt.Printf("upper bound   %8.4f   (matrix-geometric, %d log-reduction iterations)\n",
+			upper.MeanDelay, upper.LRIterations)
+	}
+
+	fmt.Printf("asymptotic    %8.4f   (Eq. 16, N → ∞)\n", sys.AsymptoticDelay())
+
+	if *exact {
+		res, err := sys.ExactDelay(0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact         %8.4f   (truncation mass %.2g)\n", res.MeanDelay, res.TruncationMass)
+	}
+	if *simF {
+		res, err := sys.Simulate(finitelb.SimOptions{Jobs: *jobs, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("simulation    %8.4f ± %.4f   (%d jobs)\n", res.MeanDelay, res.HalfWidth, res.Jobs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sqdelay: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command sweep explores the trade-offs the paper highlights: the
+// accuracy/complexity trade-off of the upper bound in T (Section V's first
+// observation), the stability frontier of the upper-bound model, and —
+// beyond the paper's means — the finite-N occupancy tails against
+// Mitzenmacher's asymptotic fixed point.
+//
+// Usage:
+//
+//	sweep -mode accuracy -n 3 -d 2 -rho 0.8 -tmax 6
+//	sweep -mode stability -n 3 -d 2 -tmax 5
+//	sweep -mode tails -n 3 -d 2 -rho 0.9
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"finitelb"
+	"finitelb/internal/plot"
+	"finitelb/internal/statespace"
+)
+
+func main() {
+	var (
+		mode = flag.String("mode", "accuracy", "accuracy | stability | tails")
+		n    = flag.Int("n", 3, "number of servers N")
+		d    = flag.Int("d", 2, "choices per arrival d")
+		rho  = flag.Float64("rho", 0.8, "utilization (accuracy and tails modes)")
+		tmax = flag.Int("tmax", 5, "largest threshold T to sweep")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "accuracy":
+		if err := accuracy(*n, *d, *rho, *tmax); err != nil {
+			fatal(err)
+		}
+	case "stability":
+		if err := stability(*n, *d, *tmax); err != nil {
+			fatal(err)
+		}
+	case "tails":
+		if err := tails(*n, *d, *rho); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// tails compares the finite-N server-occupancy tail (exact solve) with
+// Mitzenmacher's asymptotic fixed point and with the bound models' tails —
+// the distributional extension of the paper's mean-delay comparison.
+func tails(n, d int, rho float64) error {
+	sys, err := finitelb.NewSystem(n, d, rho)
+	if err != nil {
+		return err
+	}
+	_, dist, err := sys.ExactDistribution(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P(server holds ≥ k jobs): finite N=%d vs asymptotic, SQ(%d), ρ=%g\n\n", n, d, rho)
+	var rows [][]string
+	for k := 0; k <= 8; k++ {
+		asy := finitelb.AsymptoticQueueTail(d, rho, k)
+		fin := dist.ServerTail(k)
+		if fin == 0 && asy < 1e-12 {
+			break
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprintf("%.6f", fin),
+			fmt.Sprintf("%.6f", asy),
+			fmt.Sprintf("%+.1f%%", (asy-fin)/math.Max(fin, 1e-300)*100),
+		})
+	}
+	if err := plot.Table(os.Stdout, []string{"k", "finite-N", "asymptotic", "asym error"}, rows); err != nil {
+		return err
+	}
+	fmt.Printf("\nsojourn quantiles (exact): p50=%.3f p95=%.3f p99=%.3f\n",
+		dist.Quantile(0.50), dist.Quantile(0.95), dist.Quantile(0.99))
+	return nil
+}
+
+// accuracy sweeps T and reports both bounds, their gap, the block size
+// C(N+T−1, T) (the paper's "exponential cost"), and wall time.
+func accuracy(n, d int, rho float64, tmax int) error {
+	sys, err := finitelb.NewSystem(n, d, rho)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("upper/lower bound accuracy vs T for SQ(%d), N=%d, ρ=%g\n\n", d, n, rho)
+	var rows [][]string
+	for t := 1; t <= tmax; t++ {
+		start := time.Now()
+		lo, err := sys.LowerBound(t)
+		if err != nil {
+			return err
+		}
+		row := []string{
+			fmt.Sprint(t),
+			fmt.Sprint(statespace.BinomialInt(n+t-1, t)),
+			fmt.Sprintf("%.4f", lo.MeanDelay),
+		}
+		hi, err := sys.UpperBound(t)
+		switch {
+		case errors.Is(err, finitelb.ErrUnstable):
+			row = append(row, "unstable", "-")
+		case err != nil:
+			return err
+		default:
+			row = append(row,
+				fmt.Sprintf("%.4f", hi.MeanDelay),
+				fmt.Sprintf("%.4f", hi.MeanDelay-lo.MeanDelay))
+		}
+		row = append(row, time.Since(start).Round(time.Microsecond).String())
+		rows = append(rows, row)
+	}
+	return plot.Table(os.Stdout,
+		[]string{"T", "block", "lower", "upper", "gap", "time"}, rows)
+}
+
+// stability locates, for each T, the largest utilization (on a 0.01 grid)
+// at which the upper-bound model is still stable.
+func stability(n, d, tmax int) error {
+	fmt.Printf("upper-bound stability frontier for SQ(%d), N=%d\n\n", d, n)
+	var rows [][]string
+	for t := 1; t <= tmax; t++ {
+		frontier := 0.0
+		for r := 0.01; r < 1; r += 0.01 {
+			sys, err := finitelb.NewSystem(n, d, r)
+			if err != nil {
+				return err
+			}
+			_, err = sys.UpperBound(t)
+			switch {
+			case err == nil:
+				frontier = r
+			case errors.Is(err, finitelb.ErrUnstable):
+				// keep scanning: the frontier is the last stable ρ
+			default:
+				return err
+			}
+		}
+		rows = append(rows, []string{fmt.Sprint(t), fmt.Sprintf("%.2f", frontier)})
+	}
+	if err := plot.Table(os.Stdout, []string{"T", "max stable ρ"}, rows); err != nil {
+		return err
+	}
+	fmt.Println("\n(the real system is stable for every ρ < 1; the shrinkage is the price of the bound)")
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	os.Exit(1)
+}

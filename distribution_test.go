@@ -1,0 +1,105 @@
+package finitelb
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExactDistributionMM1 checks the public sojourn-law API against the
+// d=1 closed form: sojourn ~ Exp(1−ρ).
+func TestExactDistributionMM1(t *testing.T) {
+	const rho = 0.5
+	s, err := NewSystem(1, 1, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, dist, err := s.ExactDistribution(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 / (1 - rho); math.Abs(res.MeanDelay-want) > 1e-6 {
+		t.Errorf("mean = %v, want %v", res.MeanDelay, want)
+	}
+	for _, x := range []float64{1, 2, 5} {
+		want := math.Exp(-(1 - rho) * x)
+		if got := dist.Tail(x); math.Abs(got-want) > 1e-6 {
+			t.Errorf("Tail(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if got, want := dist.Quantile(0.99), -math.Log(0.01)/(1-rho); math.Abs(got-want) > 1e-4 {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	if got := dist.ServerTail(3); math.Abs(got-math.Pow(rho, 3)) > 1e-6 {
+		t.Errorf("ServerTail(3) = %v, want ρ³", got)
+	}
+	if got := dist.ServerTail(-1); got != 0 {
+		t.Errorf("ServerTail(-1) = %v, want 0", got)
+	}
+}
+
+// TestSimQuantilesMatchExactDistribution: simulator histogram quantiles
+// against the exact Erlang-mixture law for SQ(2), N=3.
+func TestSimQuantilesMatchExactDistribution(t *testing.T) {
+	s, err := NewSystem(3, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dist, err := s.ExactDistribution(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simr, err := s.Simulate(SimOptions{Jobs: 500_000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+		q    float64
+	}{
+		{"p50", simr.P50, 0.50},
+		{"p95", simr.P95, 0.95},
+		{"p99", simr.P99, 0.99},
+	} {
+		want := dist.Quantile(c.q)
+		if math.Abs(c.got-want) > 0.05*want+0.05 {
+			t.Errorf("%s: sim %v vs exact %v", c.name, c.got, want)
+		}
+	}
+}
+
+// TestAsymptoticTailsUnderestimateFiniteN: the distributional version of
+// the paper's message — at N=3, ρ=0.9, the asymptotic queue tail sits
+// below the finite-N tail.
+func TestAsymptoticTailsUnderestimateFiniteN(t *testing.T) {
+	s, err := NewSystem(3, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dist, err := s.ExactDistribution(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 5; k++ {
+		asy := AsymptoticQueueTail(2, 0.9, k)
+		fin := dist.ServerTail(k)
+		if asy >= fin {
+			t.Errorf("k=%d: asymptotic tail %v not below finite tail %v", k, asy, fin)
+		}
+	}
+}
+
+func TestAsymptoticDelayTailSane(t *testing.T) {
+	if got := AsymptoticDelayTail(2, 0.9, 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("P(T>0) = %v", got)
+	}
+	// Mean from the tail integral must match AsymptoticDelay (coarse check).
+	var mean float64
+	const dt = 0.01
+	for x := 0.0; x < 100; x += dt {
+		mean += AsymptoticDelayTail(2, 0.9, x+dt/2) * dt
+	}
+	if want := AsymptoticDelay(2, 0.9); math.Abs(mean-want) > 0.01*want {
+		t.Errorf("∫tail = %v, mean = %v", mean, want)
+	}
+}

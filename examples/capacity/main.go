@@ -1,0 +1,80 @@
+// Capacity planning with finite-regime bounds: how many probe choices d
+// does a small cluster need to meet a latency SLO, and when does the
+// asymptotic formula give the wrong answer?
+//
+// The scenario: a 8-server cache tier must keep mean request sojourn under
+// 1.6 service times. The asymptotic formula says d=2 suffices up to very
+// high load; the finite-regime *lower bound* proves where it cannot, and
+// the upper bound certifies where a configuration is safe.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"finitelb"
+)
+
+const (
+	nServers = 8
+	slo      = 1.6 // mean sojourn budget, in service times
+	tdepth   = 4   // truncation threshold for the bounds
+)
+
+func main() {
+	fmt.Printf("SLO: mean delay ≤ %.2f service times on N=%d servers\n\n", slo, nServers)
+	fmt.Printf("%-6s %-8s %-12s %-12s %-12s %s\n",
+		"ρ", "d", "asymptotic", "lower", "upper", "verdict")
+
+	for _, rho := range []float64{0.70, 0.80, 0.90} {
+		for d := 1; d <= nServers; d++ {
+			sys, err := finitelb.NewSystem(nServers, d, rho)
+			if err != nil {
+				log.Fatal(err)
+			}
+			asy := sys.AsymptoticDelay()
+			lb, err := sys.LowerBound(tdepth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			upper := "unstable"
+			verdict := ""
+			ub, err := sys.UpperBound(tdepth)
+			switch {
+			case errors.Is(err, finitelb.ErrUnstable):
+				// Can't certify from above at this T; the lower bound can
+				// still *refute* the configuration.
+			case err != nil:
+				log.Fatal(err)
+			default:
+				upper = fmt.Sprintf("%.4f", ub.MeanDelay)
+			}
+
+			switch {
+			case lb.MeanDelay > slo:
+				verdict = "REJECTED (lower bound already violates SLO)"
+			case upper != "unstable" && ub.MeanDelay <= slo:
+				verdict = "CERTIFIED (upper bound meets SLO)"
+			default:
+				verdict = "inconclusive at this T"
+			}
+			asyVerdict := ""
+			if asy <= slo && lb.MeanDelay > slo {
+				asyVerdict = "  ← asymptotic formula would have shipped this!"
+			}
+			fmt.Printf("%-6.2f %-8d %-12.4f %-12.4f %-12s %s%s\n",
+				rho, d, asy, lb.MeanDelay, upper, verdict, asyVerdict)
+
+			// Stop at the first certified d for this load.
+			if upper != "unstable" {
+				if v, _ := sys.UpperBound(tdepth); v.MeanDelay <= slo {
+					break
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("takeaway: at high load and small N, certifying an SLO needs the")
+	fmt.Println("finite-regime bounds — the asymptotic formula is optimistic there.")
+}

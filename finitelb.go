@@ -1,0 +1,282 @@
+package finitelb
+
+import (
+	"errors"
+	"fmt"
+
+	"finitelb/internal/asym"
+	"finitelb/internal/markov"
+	"finitelb/internal/qbd"
+	"finitelb/internal/sim"
+	"finitelb/internal/sqd"
+)
+
+// ErrUnstable reports that the upper-bound model has insufficient effective
+// capacity at the requested utilization and threshold T: the wasted
+// services and phantom arrivals of the modified system push its drift past
+// the stability boundary even though the real system (ρ < 1) is stable.
+// Increase T (tighter, costlier) or lower ρ.
+var ErrUnstable = qbd.ErrUnstable
+
+// System describes an SQ(d) load-balancing system: N parallel unit-rate
+// FIFO servers fed by a Poisson stream of rate ρ·N through a dispatcher
+// that samples d distinct servers per job and picks the least loaded.
+type System struct {
+	p sqd.Params
+}
+
+// NewSystem validates and builds a system description.
+// n is the number of servers, d the number of choices (1 ≤ d ≤ n), and
+// rho the per-server utilization (0 < rho < 1).
+func NewSystem(n, d int, rho float64) (*System, error) {
+	p := sqd.Params{N: n, D: d, Rho: rho}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{p: p}, nil
+}
+
+// N returns the number of servers.
+func (s *System) N() int { return s.p.N }
+
+// D returns the number of choices per arrival.
+func (s *System) D() int { return s.p.D }
+
+// Rho returns the per-server utilization.
+func (s *System) Rho() float64 { return s.p.Rho }
+
+// AsymptoticDelay returns Mitzenmacher's N→∞ mean sojourn time (Eq. (16)),
+// the baseline the paper shows to be misleading at small N and high ρ.
+func (s *System) AsymptoticDelay() float64 {
+	return asym.Delay(s.p.D, s.p.Rho)
+}
+
+// BoundResult is one side of a finite-regime delay bound.
+type BoundResult struct {
+	MeanDelay   float64 // bound on the mean sojourn time
+	MeanWait    float64 // bound on the mean waiting time (sojourn − service)
+	MeanWaiting float64 // bound on E[# jobs waiting] (not in service)
+
+	T            int // truncation threshold used
+	BlockSize    int // per-block state count C(N+T−1, T)
+	LRIterations int // logarithmic-reduction iterations (0 for Theorem 3 path)
+}
+
+// Bounds packages the two sides.
+type Bounds struct {
+	Lower BoundResult
+	Upper BoundResult
+}
+
+// LowerBound computes the finite-regime lower bound on the mean delay with
+// threshold T via Theorem 3's improved method (scalar rate ρᴺ): the larger
+// T, the tighter (and costlier) the bound.
+func (s *System) LowerBound(t int) (BoundResult, error) {
+	return s.lowerBound(t, true)
+}
+
+// LowerBoundMatrixGeometric computes the same lower bound through the full
+// Theorem 1 pipeline (logarithmic reduction + rate matrix R). It exists to
+// expose the accuracy/complexity comparison of Section IV-B; the result
+// matches LowerBound to solver precision.
+func (s *System) LowerBoundMatrixGeometric(t int) (BoundResult, error) {
+	return s.lowerBound(t, false)
+}
+
+func (s *System) lowerBound(t int, improved bool) (BoundResult, error) {
+	model := &sqd.LowerBound{P: sqd.BoundParams{Params: s.p, T: t}}
+	sol, err := qbd.Solve(model, qbd.Options{ImprovedLB: improved})
+	if err != nil {
+		return BoundResult{}, fmt.Errorf("finitelb: lower bound: %w", err)
+	}
+	return boundResult(sol, t), nil
+}
+
+// UpperBound computes the finite-regime upper bound on the mean delay with
+// threshold T. It returns an error wrapping ErrUnstable when the modified
+// system is not stable at this (ρ, T); larger T both tightens the bound
+// and widens its stability region, at a block size growing as C(N+T−1, T).
+func (s *System) UpperBound(t int) (BoundResult, error) {
+	model := &sqd.UpperBound{P: sqd.BoundParams{Params: s.p, T: t}}
+	sol, err := qbd.Solve(model, qbd.Options{})
+	if err != nil {
+		if errors.Is(err, qbd.ErrUnstable) {
+			return BoundResult{}, fmt.Errorf("finitelb: upper bound with T=%d: %w", t, err)
+		}
+		return BoundResult{}, fmt.Errorf("finitelb: upper bound: %w", err)
+	}
+	return boundResult(sol, t), nil
+}
+
+// DelayBounds computes both bounds with the same threshold T.
+func (s *System) DelayBounds(t int) (Bounds, error) {
+	lo, err := s.LowerBound(t)
+	if err != nil {
+		return Bounds{}, err
+	}
+	hi, err := s.UpperBound(t)
+	if err != nil {
+		return Bounds{}, err
+	}
+	return Bounds{Lower: lo, Upper: hi}, nil
+}
+
+func boundResult(sol *qbd.Solution, t int) BoundResult {
+	return BoundResult{
+		MeanDelay:    sol.MeanDelay,
+		MeanWait:     sol.MeanWait,
+		MeanWaiting:  sol.MeanWaiting,
+		T:            t,
+		BlockSize:    sol.Blocks.BlockSize(),
+		LRIterations: sol.LRIterations,
+	}
+}
+
+// ExactResult is the numerically exact stationary solution (small N only).
+type ExactResult struct {
+	MeanDelay float64 // exact mean sojourn time
+	MeanWait  float64 // exact mean waiting time
+	// TruncationMass is the stationary probability of the clipped frontier
+	// (any queue at the cap); it bounds the numerical truncation error and
+	// should be ≪ 1e-8 for trustworthy digits.
+	TruncationMass float64
+}
+
+// ExactDelay solves the unmodified SQ(d) Markov chain on a queue-capped
+// space. The space has C(cap+N, N) states, so this is only feasible for
+// small N; pass cap 0 for an automatic choice. It is the ground truth the
+// bounds are validated against.
+func (s *System) ExactDelay(cap int) (ExactResult, error) {
+	res, err := markov.SolveExact(s.p, markov.ExactOptions{QueueCap: cap})
+	if err != nil {
+		return ExactResult{}, fmt.Errorf("finitelb: exact solve: %w", err)
+	}
+	return ExactResult{
+		MeanDelay:      res.MeanDelay,
+		MeanWait:       res.MeanWait,
+		TruncationMass: res.TailMass,
+	}, nil
+}
+
+// SimOptions configures Simulate.
+type SimOptions struct {
+	Jobs   int64  // measured departures (default 1e6)
+	Warmup int64  // discarded leading departures (default Jobs/10)
+	Seed   uint64 // RNG seed (default 1)
+}
+
+// SimResult reports a simulation estimate.
+type SimResult struct {
+	MeanDelay float64 // estimated mean sojourn time
+	MeanWait  float64 // estimated mean waiting time
+	HalfWidth float64 // 95% confidence half-width on MeanDelay
+	Jobs      int64   // measured departures
+	MaxQueue  int     // longest queue observed
+
+	// Sojourn-time quantiles, in service times.
+	P50, P95, P99 float64
+}
+
+// Simulate runs the discrete-event SQ(d) simulator (the paper's baseline;
+// its plots use 1e8 jobs per point — adjust Jobs for full fidelity).
+func (s *System) Simulate(opts SimOptions) (SimResult, error) {
+	res, err := sim.Run(s.p, sim.Options{Jobs: opts.Jobs, Warmup: opts.Warmup, Seed: opts.Seed})
+	if err != nil {
+		return SimResult{}, fmt.Errorf("finitelb: simulate: %w", err)
+	}
+	return SimResult{
+		MeanDelay: res.MeanDelay,
+		MeanWait:  res.MeanWait,
+		HalfWidth: res.HalfWidth,
+		Jobs:      res.Jobs,
+		MaxQueue:  res.MaxQueue,
+		P50:       res.P50,
+		P95:       res.P95,
+		P99:       res.P99,
+	}, nil
+}
+
+// DelayDistribution is the full stationary sojourn-time law of the exact
+// SQ(d) model (small N), computed as an Erlang mixture over the
+// arrival-selected queue length (PASTA). It extends the paper's mean-delay
+// focus to SLO-style tail questions.
+type DelayDistribution struct {
+	d *markov.Distribution
+}
+
+// Tail returns P(sojourn > t), t in service times.
+func (dd *DelayDistribution) Tail(t float64) float64 { return dd.d.DelayTail(t) }
+
+// Quantile returns the q-quantile of the sojourn time.
+func (dd *DelayDistribution) Quantile(q float64) float64 { return dd.d.Quantile(q, 1e-9) }
+
+// ServerTail returns P(a uniformly chosen server holds ≥ k jobs) — the
+// finite-N counterpart of the asymptotic fixed point (AsymptoticQueueTail).
+func (dd *DelayDistribution) ServerTail(k int) float64 {
+	if k < 0 || k >= len(dd.d.ServerTail) {
+		return 0
+	}
+	return dd.d.ServerTail[k]
+}
+
+// ExactDistribution solves the exact chain (small N; see ExactDelay) and
+// returns the sojourn-time distribution alongside the mean-delay result.
+func (s *System) ExactDistribution(cap int) (ExactResult, *DelayDistribution, error) {
+	res, dist, err := markov.SolveExactDistribution(s.p, markov.ExactOptions{QueueCap: cap})
+	if err != nil {
+		return ExactResult{}, nil, fmt.Errorf("finitelb: exact distribution: %w", err)
+	}
+	er := ExactResult{
+		MeanDelay:      res.MeanDelay,
+		MeanWait:       res.MeanWait,
+		TruncationMass: res.TailMass,
+	}
+	return er, &DelayDistribution{d: dist}, nil
+}
+
+// AsymptoticQueueTail returns Mitzenmacher's fixed point s_k — the N → ∞
+// fraction of servers with at least k jobs, ρ^{(dᵏ−1)/(d−1)}.
+func AsymptoticQueueTail(d int, rho float64, k int) float64 {
+	return asym.QueueTail(d, rho, k)
+}
+
+// AsymptoticDelayTail returns the N → ∞ sojourn tail P(T > t) under SQ(d).
+func AsymptoticDelayTail(d int, rho float64, t float64) float64 {
+	return asym.DelayTail(d, rho, t)
+}
+
+// AsymptoticDelay is the package-level convenience for Eq. (16) without
+// constructing a System: the formula does not depend on N.
+func AsymptoticDelay(d int, rho float64) float64 { return asym.Delay(d, rho) }
+
+// SigmaRoot solves Theorem 2's embedded-chain equation x = Σ xᵏβ_k for a
+// custom interarrival law given its β_k sequence (the probability of k
+// service completions at a busy server during one interarrival). For
+// Poisson arrivals the root is exactly ρ (Theorem 3). See BetasPoisson,
+// BetasErlang, BetasDeterministic, BetasHyperExp.
+func SigmaRoot(betas func(k int) float64) (float64, error) {
+	return asym.SolveSigma(asym.BetaFunc(betas), 0)
+}
+
+// BetasPoisson returns the β_k sequence for Poisson arrivals (rate lambda)
+// at a rate-mu server.
+func BetasPoisson(lambda, mu float64) func(int) float64 {
+	return asym.PoissonBetas(lambda, mu)
+}
+
+// BetasErlang returns the β_k sequence for Erlang-r interarrivals with
+// mean 1/lambda.
+func BetasErlang(r int, lambda, mu float64) func(int) float64 {
+	return asym.ErlangBetas(r, lambda, mu)
+}
+
+// BetasDeterministic returns the β_k sequence for fixed interarrivals 1/lambda.
+func BetasDeterministic(lambda, mu float64) func(int) float64 {
+	return asym.DeterministicBetas(lambda, mu)
+}
+
+// BetasHyperExp returns the β_k sequence for a two-phase hyperexponential
+// interarrival law: rate l1 with probability w, rate l2 otherwise.
+func BetasHyperExp(w, l1, l2, mu float64) func(int) float64 {
+	return asym.HyperExpBetas(w, l1, l2, mu)
+}

@@ -1,0 +1,174 @@
+package finitelb
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(6, 2, 0.9); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+	for _, bad := range []struct {
+		n, d int
+		rho  float64
+	}{{0, 1, 0.5}, {3, 0, 0.5}, {3, 4, 0.5}, {3, 2, 0}, {3, 2, 1}, {3, 2, -1}} {
+		if _, err := NewSystem(bad.n, bad.d, bad.rho); err == nil {
+			t.Errorf("NewSystem(%d, %d, %v) accepted", bad.n, bad.d, bad.rho)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s, err := NewSystem(6, 2, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 6 || s.D() != 2 || s.Rho() != 0.75 {
+		t.Errorf("accessors: N=%d D=%d ρ=%v", s.N(), s.D(), s.Rho())
+	}
+}
+
+// TestBoundsSandwichSimulation is the paper's Figure 10 in miniature: for
+// SQ(2) with N=3 the bounds must bracket both the exact solve and the
+// simulation, the lower bound tightly.
+func TestBoundsSandwichSimulation(t *testing.T) {
+	s, err := NewSystem(3, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.DelayBounds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := s.ExactDelay(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simr, err := s.Simulate(SimOptions{Jobs: 400_000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b.Lower.MeanDelay <= exact.MeanDelay+1e-9 && exact.MeanDelay <= b.Upper.MeanDelay+1e-9) {
+		t.Errorf("bounds [%v, %v] do not bracket exact %v", b.Lower.MeanDelay, b.Upper.MeanDelay, exact.MeanDelay)
+	}
+	slack := 4*simr.HalfWidth + 0.02*exact.MeanDelay
+	if !(b.Lower.MeanDelay <= simr.MeanDelay+slack && simr.MeanDelay <= b.Upper.MeanDelay+slack) {
+		t.Errorf("bounds [%v, %v] do not bracket simulation %v ± %v",
+			b.Lower.MeanDelay, b.Upper.MeanDelay, simr.MeanDelay, simr.HalfWidth)
+	}
+	if rel := (exact.MeanDelay - b.Lower.MeanDelay) / exact.MeanDelay; rel > 0.05 {
+		t.Errorf("lower bound off by %.1f%% at T=3, expected remarkably tight", rel*100)
+	}
+}
+
+// TestAsymptoticUnderestimatesSmallN reproduces the paper's headline
+// observation: at N=3 and high utilization, Eq. (16) sits clearly below
+// even the *lower* bound.
+func TestAsymptoticUnderestimatesSmallN(t *testing.T) {
+	s, err := NewSystem(3, 2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := s.LowerBound(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asy := s.AsymptoticDelay(); asy >= lb.MeanDelay {
+		t.Errorf("asymptotic %v not below lower bound %v at N=3 ρ=0.95", asy, lb.MeanDelay)
+	}
+}
+
+func TestLowerBoundPathsAgree(t *testing.T) {
+	s, err := NewSystem(6, 2, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := s.LowerBound(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.LowerBoundMatrixGeometric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imp.MeanDelay-full.MeanDelay) > 1e-7*full.MeanDelay {
+		t.Errorf("Theorem 3 path %v ≠ Theorem 1 path %v", imp.MeanDelay, full.MeanDelay)
+	}
+	if imp.LRIterations != 0 {
+		t.Errorf("improved path reports %d LR iterations, want 0", imp.LRIterations)
+	}
+	if full.LRIterations < 1 {
+		t.Error("matrix-geometric path reports no LR iterations")
+	}
+}
+
+func TestUpperBoundUnstableSurfaces(t *testing.T) {
+	s, err := NewSystem(3, 2, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.UpperBound(2)
+	if !errors.Is(err, ErrUnstable) {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+	// DelayBounds propagates the failure.
+	if _, err := s.DelayBounds(2); !errors.Is(err, ErrUnstable) {
+		t.Errorf("DelayBounds err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestAsymptoticDelayPackageLevel(t *testing.T) {
+	if got, want := AsymptoticDelay(1, 0.5), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("AsymptoticDelay(1, 0.5) = %v, want %v", got, want)
+	}
+	// d=2 at ρ=0.5: 1 + 0.5² + 0.5⁶ + 0.5¹⁴ + … ≈ 1.26568.
+	if got := AsymptoticDelay(2, 0.5); math.Abs(got-1.2656860) > 1e-6 {
+		t.Errorf("AsymptoticDelay(2, 0.5) = %v", got)
+	}
+}
+
+func TestSigmaRootPoissonIsRho(t *testing.T) {
+	sigma, err := SigmaRoot(BetasPoisson(0.8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sigma-0.8) > 1e-9 {
+		t.Errorf("σ = %v, want 0.8", sigma)
+	}
+}
+
+func TestSigmaRootOtherLaws(t *testing.T) {
+	for name, betas := range map[string]func(int) float64{
+		"erlang":        BetasErlang(3, 0.8, 1),
+		"deterministic": BetasDeterministic(0.8, 1),
+		"hyperexp":      BetasHyperExp(0.4, 0.6, 1.6, 1),
+	} {
+		sigma, err := SigmaRoot(betas)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !(0 < sigma && sigma < 1) {
+			t.Errorf("%s: σ = %v outside (0,1)", name, sigma)
+		}
+	}
+}
+
+func TestExactDelayTruncationReporting(t *testing.T) {
+	s, err := NewSystem(2, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ExactDelay(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruncationMass > 1e-10 {
+		t.Errorf("truncation mass %v unexpectedly large", res.TruncationMass)
+	}
+	if res.MeanDelay <= 1 {
+		t.Errorf("delay %v must exceed the unit service time", res.MeanDelay)
+	}
+}

@@ -1,0 +1,105 @@
+package finitelb
+
+import (
+	"fmt"
+
+	"finitelb/internal/embedded"
+	"finitelb/internal/sqd"
+	"finitelb/internal/statespace"
+)
+
+// ArrivalShape describes the *shape* of a renewal interarrival law
+// (mixture of Erlang branches); LowerBoundGI rescales it so its mean
+// matches the system's arrival rate ρN. Shapes are built with
+// PoissonArrivals, ErlangArrivals and HyperExpArrivals.
+type ArrivalShape struct {
+	law embedded.Law
+}
+
+// PoissonArrivals is the exponential shape (SCV 1): LowerBoundGI with it
+// reproduces LowerBound exactly.
+func PoissonArrivals() ArrivalShape {
+	return ArrivalShape{law: embedded.Exponential(1)}
+}
+
+// ErlangArrivals is the Erlang-r shape (SCV 1/r): smoother than Poisson.
+func ErlangArrivals(r int) ArrivalShape {
+	if r < 1 {
+		panic(fmt.Sprintf("finitelb: Erlang stages %d", r))
+	}
+	return ArrivalShape{law: embedded.Erlang(r, float64(r))}
+}
+
+// HyperExpArrivals is the two-phase hyperexponential shape: relative rate
+// r1 with probability w, relative rate r2 otherwise (SCV > 1 when the
+// rates differ) — burstier than Poisson.
+func HyperExpArrivals(w, r1, r2 float64) ArrivalShape {
+	if w <= 0 || w >= 1 || r1 <= 0 || r2 <= 0 {
+		panic(fmt.Sprintf("finitelb: invalid hyperexponential shape (%v, %v, %v)", w, r1, r2))
+	}
+	return ArrivalShape{law: embedded.HyperExp(w, r1, r2)}
+}
+
+// scaledTo returns the shape's law rescaled to the given mean.
+func (a ArrivalShape) scaledTo(mean float64) embedded.Law {
+	factor := a.law.Mean() / mean
+	out := embedded.Law{Branches: make([]embedded.Branch, len(a.law.Branches))}
+	for i, b := range a.law.Branches {
+		b.Rate *= factor
+		out.Branches[i] = b
+	}
+	return out
+}
+
+// GIBoundResult extends BoundResult with the embedded-chain diagnostics of
+// the general-arrivals construction.
+type GIBoundResult struct {
+	BoundResult
+	// FrontierMass is the stationary mass near the numerical truncation;
+	// it must be ≈ 0 for the digits to be trustworthy.
+	FrontierMass float64
+}
+
+// LowerBoundGI computes the finite-regime lower bound for *renewal*
+// (non-Poisson) arrivals with the given interarrival shape, realizing
+// Theorem 2's embedded-chain setting: the jockeying model observed just
+// before arrivals, whose stationary tail decays by σᴺ per block with σ
+// the root of x = Σ xᵏβ_k (use SigmaRoot to obtain σ itself).
+//
+// maxTotal truncates the state space; pass 0 for an automatic depth. For
+// Poisson shapes this agrees with LowerBound to solver precision.
+func (s *System) LowerBoundGI(t int, shape ArrivalShape, maxTotal int) (GIBoundResult, error) {
+	p := sqd.BoundParams{Params: s.p, T: t}
+	if maxTotal <= 0 {
+		// Depth: boundary + as many repeating blocks as the dense-solver
+		// budget affords (the tail decays by σᴺ per block, so 40 blocks is
+		// ample; fewer only when the per-block state count is large —
+		// FrontierMass reports whether the depth sufficed).
+		blocks := int(3200 / statespace.BinomialInt(s.p.N+t-1, t))
+		if blocks > 40 {
+			blocks = 40
+		}
+		if blocks < 6 {
+			blocks = 6
+		}
+		maxTotal = (s.p.N-1)*t + blocks*s.p.N
+	}
+	law := shape.scaledTo(1 / s.p.TotalArrivalRate())
+	ch, err := embedded.New(p, law, maxTotal)
+	if err != nil {
+		return GIBoundResult{}, fmt.Errorf("finitelb: GI lower bound: %w", err)
+	}
+	res, err := ch.Solve()
+	if err != nil {
+		return GIBoundResult{}, fmt.Errorf("finitelb: GI lower bound: %w", err)
+	}
+	return GIBoundResult{
+		BoundResult: BoundResult{
+			MeanDelay:   res.MeanDelay,
+			MeanWait:    res.MeanWait,
+			MeanWaiting: res.MeanWaiting,
+			T:           t,
+		},
+		FrontierMass: ch.FrontierMass(res.Pi),
+	}, nil
+}

@@ -1,0 +1,65 @@
+package finitelb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowerBoundGIPoissonMatchesLowerBound(t *testing.T) {
+	s, err := NewSystem(3, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctmc, err := s.LowerBound(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := s.LowerBoundGI(2, PoissonArrivals(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.FrontierMass > 1e-8 {
+		t.Fatalf("frontier mass %v", gi.FrontierMass)
+	}
+	if rel := math.Abs(gi.MeanDelay-ctmc.MeanDelay) / ctmc.MeanDelay; rel > 1e-6 {
+		t.Errorf("GI-Poisson %v vs CTMC %v", gi.MeanDelay, ctmc.MeanDelay)
+	}
+}
+
+func TestLowerBoundGIVariabilityOrdering(t *testing.T) {
+	s, err := NewSystem(3, 2, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := func(shape ArrivalShape) float64 {
+		r, err := s.LowerBoundGI(2, shape, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.MeanDelay
+	}
+	smooth := delay(ErlangArrivals(4))
+	poisson := delay(PoissonArrivals())
+	bursty := delay(HyperExpArrivals(0.2, 0.5, 4.0/3.0))
+	if !(smooth < poisson && poisson < bursty) {
+		t.Errorf("ordering violated: E4 %v, M %v, H2 %v", smooth, poisson, bursty)
+	}
+}
+
+func TestArrivalShapePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ErlangArrivals(0) },
+		func() { HyperExpArrivals(0, 1, 2) },
+		func() { HyperExpArrivals(1.5, 1, 2) },
+		func() { HyperExpArrivals(0.5, -1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

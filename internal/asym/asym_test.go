@@ -1,0 +1,185 @@
+package asym
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayD1IsMM1(t *testing.T) {
+	for _, rho := range []float64{0.1, 0.5, 0.9, 0.99} {
+		want := 1 / (1 - rho)
+		if got := Delay(1, rho); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("Delay(1, %v) = %v, want %v", rho, got, want)
+		}
+	}
+}
+
+func TestDelayD2Series(t *testing.T) {
+	// d=2: E[Delay] = Σ ρ^{2ⁱ−2} = 1 + ρ² + ρ⁶ + ρ¹⁴ + …
+	rho := 0.9
+	want := 0.0
+	for i := 1; i <= 30; i++ {
+		want += math.Pow(rho, math.Pow(2, float64(i))-2)
+	}
+	if got := Delay(2, rho); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Delay(2, 0.9) = %v, want %v", got, want)
+	}
+}
+
+func TestDelayLimits(t *testing.T) {
+	// Low utilization: delay → 1 (pure service time).
+	if got := Delay(2, 0.01); math.Abs(got-1) > 1e-3 {
+		t.Errorf("Delay(2, 0.01) = %v, want ≈ 1", got)
+	}
+	// Exponential improvement: at ρ=0.99, SQ(2) delay is dramatically
+	// smaller than M/M/1's 100.
+	if d1, d2 := Delay(1, 0.99), Delay(2, 0.99); d1/d2 < 10 {
+		t.Errorf("power-of-two collapse missing: d1=%v, d2=%v", d1, d2)
+	}
+}
+
+func TestDelayMonotoneInD(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 51))
+		rho := 0.05 + 0.9*rng.Float64()
+		prev := Delay(1, rho)
+		for d := 2; d <= 6; d++ {
+			cur := Delay(d, rho)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Delay(0, 0.5) },
+		func() { Delay(2, 0) },
+		func() { Delay(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Delay accepted invalid arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPoissonBetasSumToOne(t *testing.T) {
+	b := PoissonBetas(0.7, 1)
+	sum := 0.0
+	for k := 0; k < 2000; k++ {
+		sum += b(k)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Σβ_k = %v, want 1", sum)
+	}
+}
+
+func TestPoissonBetasClosedForm(t *testing.T) {
+	// β_0 = λ/(λ+μ), as derived in the Theorem 3 proof.
+	lambda, mu := 0.8, 1.0
+	b := PoissonBetas(lambda, mu)
+	if got, want := b(0), lambda/(lambda+mu); math.Abs(got-want) > 1e-15 {
+		t.Errorf("β_0 = %v, want %v", got, want)
+	}
+	// Recursion β_{k+1} = β_k·μ/(λ+μ), from Eq. (21).
+	for k := 0; k < 10; k++ {
+		if got, want := b(k+1), b(k)*mu/(lambda+mu); math.Abs(got-want) > 1e-15 {
+			t.Errorf("β_%d = %v, want %v", k+1, got, want)
+		}
+	}
+}
+
+// TestSigmaPoissonIsRho is Theorem 3: for Poisson arrivals the root of the
+// σ-equation is exactly the traffic intensity ρ.
+func TestSigmaPoissonIsRho(t *testing.T) {
+	for _, rho := range []float64{0.2, 0.5, 0.75, 0.9, 0.99} {
+		sigma, err := SolveSigma(PoissonBetas(rho, 1), 1e-13)
+		if err != nil {
+			t.Fatalf("ρ=%v: %v", rho, err)
+		}
+		if math.Abs(sigma-rho) > 1e-10 {
+			t.Errorf("σ(ρ=%v) = %v, want ρ", rho, sigma)
+		}
+	}
+}
+
+func TestBetasSumToOneAcrossLaws(t *testing.T) {
+	laws := map[string]BetaFunc{
+		"erlang2":       ErlangBetas(2, 0.7, 1),
+		"erlang5":       ErlangBetas(5, 0.4, 1),
+		"deterministic": DeterministicBetas(0.6, 1),
+		"hyperexp":      HyperExpBetas(0.3, 0.5, 2.0, 1),
+	}
+	for name, b := range laws {
+		sum := 0.0
+		for k := 0; k < 3000; k++ {
+			sum += b(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: Σβ_k = %v, want 1", name, sum)
+		}
+	}
+}
+
+// TestSigmaOrderingByVariability: smoother arrival processes (lower
+// interarrival variability) drain queues better, so σ_deterministic <
+// σ_erlang < σ_poisson at equal utilization — the classic GI/M/1 ordering.
+func TestSigmaOrderingByVariability(t *testing.T) {
+	const rho = 0.8
+	sigP, err := SolveSigma(PoissonBetas(rho, 1), 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigE, err := SolveSigma(ErlangBetas(4, rho, 1), 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigD, err := SolveSigma(DeterministicBetas(rho, 1), 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sigD < sigE && sigE < sigP) {
+		t.Errorf("σ ordering violated: D=%v, E4=%v, M=%v", sigD, sigE, sigP)
+	}
+	// And a bursty hyperexponential must be worse than Poisson.
+	sigH, err := SolveSigma(HyperExpBetas(0.1, rho/5.5, rho*1.8, 1), 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigH <= sigP {
+		t.Errorf("hyperexponential σ=%v not above Poisson σ=%v", sigH, sigP)
+	}
+}
+
+func TestSigmaUnstableHasNoRoot(t *testing.T) {
+	// ρ ≥ 1: the embedded queue is unstable and the root leaves (0,1).
+	if _, err := SolveSigma(PoissonBetas(1.2, 1), 1e-12); err == nil {
+		t.Error("SolveSigma found a root for an unstable system")
+	}
+}
+
+// TestSigmaGIM1WaitKnownValue: for M/M/1 (Poisson), the GI/M/1 delay
+// formula 1/(μ(1−σ)) must reproduce 1/(1−ρ).
+func TestSigmaGIM1WaitKnownValue(t *testing.T) {
+	const rho = 0.75
+	sigma, err := SolveSigma(PoissonBetas(rho, 1), 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := 1/(1-sigma), 1/(1-rho); math.Abs(got-want) > 1e-8 {
+		t.Errorf("GI/M/1 delay = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,93 @@
+package asym
+
+import (
+	"fmt"
+	"math"
+)
+
+// QueueTail returns the asymptotic (N → ∞) fraction of servers holding at
+// least i jobs under SQ(d):
+//
+//	s_i = ρ^{(dⁱ − 1)/(d − 1)},
+//
+// Mitzenmacher's fixed point — the doubly-exponential tail collapse behind
+// the power-of-two result (for d = 1 it degenerates to the M/M/1 geometric
+// tail ρⁱ). It ties to Eq. (16) through Little's law: the mean jobs per
+// server Σ_{i≥1} s_i equals ρ·E[Delay] because each Eq. (16) term is
+// s_i/ρ; TestQueueTailLittleConsistency checks both identities.
+func QueueTail(d int, rho float64, i int) float64 {
+	if d < 1 {
+		panic(fmt.Sprintf("asym: invalid d = %d", d))
+	}
+	if rho <= 0 || rho >= 1 {
+		panic(fmt.Sprintf("asym: utilization %v outside (0,1)", rho))
+	}
+	if i < 0 {
+		panic(fmt.Sprintf("asym: negative queue level %d", i))
+	}
+	if i == 0 {
+		return 1
+	}
+	if d == 1 {
+		return math.Pow(rho, float64(i))
+	}
+	// (dⁱ − 1)/(d − 1) = 1 + d + … + d^{i−1}, grown incrementally to avoid
+	// overflow; once the exponent is huge the tail is numerically zero.
+	exponent := 0.0
+	power := 1.0
+	for k := 0; k < i; k++ {
+		exponent += power
+		power *= float64(d)
+		if exponent > 1e6 {
+			return 0
+		}
+	}
+	return math.Pow(rho, exponent)
+}
+
+// ErlangTail returns P(Erlang(n, 1) > t) = e^{−t}·Σ_{j<n} tʲ/j!, the
+// waiting-tail building block for FIFO exponential servers: a job queued
+// behind k jobs (including the one in service) sojourns Erlang(k+1, 1) by
+// memorylessness.
+func ErlangTail(n int, t float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if t <= 0 {
+		return 1
+	}
+	// Accumulate in log space only when needed; n here is a queue length,
+	// so direct summation is safe.
+	term := math.Exp(-t)
+	sum := term
+	for j := 1; j < n; j++ {
+		term *= t / float64(j)
+		sum += term
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// DelayTail returns the asymptotic P(sojourn > t) under SQ(d): by the
+// fixed-point independence, an arriving job finds the selected queue at
+// level k with probability s_k^d − s_{k+1}^d (all d samples ≥ k, not all
+// ≥ k+1), and then sojourns Erlang(k+1, 1).
+func DelayTail(d int, rho float64, t float64) float64 {
+	sum := 0.0
+	for k := 0; ; k++ {
+		pk := math.Pow(QueueTail(d, rho, k), float64(d)) - math.Pow(QueueTail(d, rho, k+1), float64(d))
+		if pk <= 0 && k > 0 {
+			break
+		}
+		sum += pk * ErlangTail(k+1, t)
+		if QueueTail(d, rho, k+1) < 1e-16 {
+			break
+		}
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

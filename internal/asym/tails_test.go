@@ -1,0 +1,111 @@
+package asym
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueueTailBasics(t *testing.T) {
+	if got := QueueTail(2, 0.9, 0); got != 1 {
+		t.Errorf("s_0 = %v, want 1", got)
+	}
+	if got := QueueTail(2, 0.9, 1); math.Abs(got-0.9) > 1e-15 {
+		t.Errorf("s_1 = %v, want ρ", got)
+	}
+	// d=2, i=3: exponent (2³−1)/(2−1) = 7.
+	if got, want := QueueTail(2, 0.9, 3), math.Pow(0.9, 7); math.Abs(got-want) > 1e-15 {
+		t.Errorf("s_3 = %v, want %v", got, want)
+	}
+	// d=1: geometric M/M/1 tail.
+	if got, want := QueueTail(1, 0.7, 4), math.Pow(0.7, 4); math.Abs(got-want) > 1e-15 {
+		t.Errorf("d=1 s_4 = %v, want %v", got, want)
+	}
+	// Deep levels vanish instead of overflowing.
+	if got := QueueTail(2, 0.99, 300); got != 0 {
+		t.Errorf("deep tail = %v, want 0", got)
+	}
+}
+
+// TestQueueTailLittleConsistency: Σ_{i≥1} s_i = ρ·E[Delay] (Little's law at
+// one server) — the fixed point and Eq. (16) describe the same system.
+func TestQueueTailLittleConsistency(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5} {
+		for _, rho := range []float64{0.5, 0.9, 0.99} {
+			var jobs float64
+			for i := 1; i <= 4000; i++ {
+				s := QueueTail(d, rho, i)
+				jobs += s
+				if s < 1e-18 {
+					break
+				}
+			}
+			want := rho * Delay(d, rho)
+			if math.Abs(jobs-want) > 1e-9*want {
+				t.Errorf("d=%d ρ=%v: Σs_i = %v, ρ·E[T] = %v", d, rho, jobs, want)
+			}
+		}
+	}
+}
+
+func TestErlangTail(t *testing.T) {
+	// Erlang(1) = exponential.
+	if got, want := ErlangTail(1, 2), math.Exp(-2); math.Abs(got-want) > 1e-15 {
+		t.Errorf("ErlangTail(1, 2) = %v, want %v", got, want)
+	}
+	// Erlang(2): e^{−t}(1+t).
+	if got, want := ErlangTail(2, 1.5), math.Exp(-1.5)*2.5; math.Abs(got-want) > 1e-15 {
+		t.Errorf("ErlangTail(2, 1.5) = %v, want %v", got, want)
+	}
+	if got := ErlangTail(3, 0); got != 1 {
+		t.Errorf("ErlangTail at 0 = %v, want 1", got)
+	}
+	if got := ErlangTail(0, 1); got != 0 {
+		t.Errorf("ErlangTail(0, ·) = %v, want 0", got)
+	}
+	// Monotone decreasing in t, increasing in n.
+	if !(ErlangTail(2, 1) > ErlangTail(2, 2)) {
+		t.Error("ErlangTail not decreasing in t")
+	}
+	if !(ErlangTail(3, 1) > ErlangTail(2, 1)) {
+		t.Error("ErlangTail not increasing in n")
+	}
+}
+
+// TestDelayTailMeanMatchesEq16: integrating the asymptotic sojourn tail
+// recovers the Eq. (16) mean — the distribution and the mean formula agree.
+func TestDelayTailMeanMatchesEq16(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		for _, rho := range []float64{0.5, 0.9} {
+			// E[T] = ∫₀^∞ P(T > t) dt by trapezoid on a fine grid.
+			mean, dt := 0.0, 0.005
+			for x := 0.0; x < 200; x += dt {
+				a, b := DelayTail(d, rho, x), DelayTail(d, rho, x+dt)
+				mean += (a + b) / 2 * dt
+				if b < 1e-12 {
+					break
+				}
+			}
+			want := Delay(d, rho)
+			if math.Abs(mean-want) > 1e-3*want {
+				t.Errorf("d=%d ρ=%v: ∫tail = %v, Eq16 = %v", d, rho, mean, want)
+			}
+		}
+	}
+}
+
+func TestDelayTailBounds(t *testing.T) {
+	if got := DelayTail(2, 0.9, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P(T > 0) = %v, want 1", got)
+	}
+	prev := 1.0
+	for _, x := range []float64{0.5, 1, 2, 4, 8, 16} {
+		cur := DelayTail(2, 0.9, x)
+		if cur > prev+1e-12 {
+			t.Errorf("DelayTail not monotone at %v: %v > %v", x, cur, prev)
+		}
+		prev = cur
+	}
+	if prev > 1e-3 {
+		t.Errorf("P(T > 16) = %v, expected tiny for SQ(2)", prev)
+	}
+}

@@ -1,0 +1,263 @@
+// Package embedded implements the embedded-chain view of Theorem 2: the
+// lower-bound (jockeying) model observed just before arrival instants, for
+// *renewal* arrival processes with phase-type interarrival laws (mixtures
+// of Erlangs: exponential, Erlang-r, hyperexponential, and combinations).
+//
+// For Poisson arrivals this reproduces the CTMC lower bound exactly (a
+// tested identity); beyond Poisson it realizes the paper's Theorem 2
+// setting computationally: the embedded stationary distribution exhibits
+// the modified vector-geometric tail π_{q+1} = σᴺ·π_q with σ the root of
+// x = Σ xᵏβ_k — the quantity package asym solves for — which the tests
+// verify block by block.
+//
+// Construction: with Q_s the service-only generator of the lower-bound
+// model on a deep truncation of S (departures and jockeying only), one
+// exponential stage of rate ν propagates a distribution by the resolvent
+// S_ν = ν(νI − Q_s)⁻¹; an Erlang-r branch applies S_ν r times; mixtures
+// are weighted sums. The embedded kernel is M = A·P with A the arrival
+// operator (SQ(d) polling plus jockey redirect) and P the interarrival
+// propagator. Time averages follow from the Markov-renewal reward theorem
+// with per-stage rewards (νI − Q_s)⁻¹·w.
+package embedded
+
+import (
+	"fmt"
+
+	"finitelb/internal/mat"
+	"finitelb/internal/sqd"
+	"finitelb/internal/statespace"
+)
+
+// Branch is one Erlang branch of an interarrival law: Stages exponential
+// stages of the given Rate, selected with probability Weight.
+type Branch struct {
+	Weight float64
+	Stages int
+	Rate   float64
+}
+
+// Law is a mixture-of-Erlangs interarrival distribution, dense in the
+// space of positive laws and closed under everything this package needs.
+type Law struct {
+	Branches []Branch
+}
+
+// Exponential returns the Poisson special case: one stage at rate.
+func Exponential(rate float64) Law {
+	return Law{Branches: []Branch{{Weight: 1, Stages: 1, Rate: rate}}}
+}
+
+// Erlang returns an Erlang-r law with the given per-stage rate (mean
+// r/rate, squared coefficient of variation 1/r).
+func Erlang(r int, rate float64) Law {
+	return Law{Branches: []Branch{{Weight: 1, Stages: r, Rate: rate}}}
+}
+
+// HyperExp returns the two-phase hyperexponential law: rate1 with
+// probability w, rate2 otherwise (SCV > 1 when the rates differ).
+func HyperExp(w, rate1, rate2 float64) Law {
+	return Law{Branches: []Branch{
+		{Weight: w, Stages: 1, Rate: rate1},
+		{Weight: 1 - w, Stages: 1, Rate: rate2},
+	}}
+}
+
+// Validate reports whether the law is well formed (weights a probability
+// distribution, positive rates and stage counts).
+func (l Law) Validate() error {
+	if len(l.Branches) == 0 {
+		return fmt.Errorf("embedded: empty law")
+	}
+	total := 0.0
+	for _, b := range l.Branches {
+		if b.Weight < 0 || b.Stages < 1 || b.Rate <= 0 {
+			return fmt.Errorf("embedded: invalid branch %+v", b)
+		}
+		total += b.Weight
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		return fmt.Errorf("embedded: branch weights sum to %v", total)
+	}
+	return nil
+}
+
+// Mean returns the law's mean interarrival time.
+func (l Law) Mean() float64 {
+	m := 0.0
+	for _, b := range l.Branches {
+		m += b.Weight * float64(b.Stages) / b.Rate
+	}
+	return m
+}
+
+// Chain is the assembled embedded chain of the GI lower-bound model.
+type Chain struct {
+	P   sqd.BoundParams
+	Law Law
+
+	ix      *statespace.Index
+	kernel  *mat.Dense // M = A·P, row-stochastic
+	arrival *mat.Dense // A: state just before arrival → state just after
+	reward  []float64  // E[∫ waiting(X_t) dt over one interarrival | post-arrival state]
+}
+
+// Result holds the embedded-chain solution.
+type Result struct {
+	Pi          []float64 // embedded stationary distribution (pre-arrival states)
+	MeanWaiting float64   // time-average number of waiting jobs
+	MeanWait    float64   // mean waiting time per job (Little)
+	MeanDelay   float64   // mean sojourn time per job
+}
+
+// New assembles the embedded chain on S ∩ {#m ≤ maxTotal}. The arrival
+// rate implied by the law must match ρ·N: law.Mean() = 1/(ρN); this is
+// enforced to one part in 1e-6 to catch unit mistakes early.
+func New(p sqd.BoundParams, law Law, maxTotal int) (*Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := law.Validate(); err != nil {
+		return nil, err
+	}
+	lamN := p.TotalArrivalRate()
+	if m := law.Mean(); m < (1/lamN)*(1-1e-6) || m > (1/lamN)*(1+1e-6) {
+		return nil, fmt.Errorf("embedded: law mean %v does not match 1/(ρN) = %v", m, 1/lamN)
+	}
+	if maxTotal < (p.N-1)*p.T+3*p.N {
+		return nil, fmt.Errorf("embedded: truncation %d too shallow for N=%d T=%d", maxTotal, p.N, p.T)
+	}
+
+	c := &Chain{P: p, Law: law}
+	states := statespace.EnumTruncated(p.N, p.T, maxTotal)
+	c.ix = statespace.NewIndex(states)
+	n := c.ix.Len()
+	// Everything downstream is dense (resolvents, kernel): refuse sizes
+	// that would silently eat gigabytes. The GI construction targets the
+	// paper's small-N regime.
+	const maxStates = 4000
+	if n > maxStates {
+		return nil, fmt.Errorf("embedded: %d states exceeds the dense-solver budget %d; lower maxTotal, T or N", n, maxStates)
+	}
+	lb := &sqd.LowerBound{P: p}
+
+	// Arrival operator: the SQ(d) polling probabilities with the jockey
+	// redirect, normalized by λN. Arrivals at the truncation frontier are
+	// clipped to stay inside the enumeration (the frontier mass must be
+	// negligible; callers confirm via the tail of Pi).
+	c.arrival = mat.NewDense(n, n)
+	// Service-only generator Q_s: departures and their jockey redirects.
+	qs := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m := c.ix.At(i)
+		for _, tr := range sqd.Merged(lb.Transitions(m)) {
+			j, ok := c.ix.Of(tr.To)
+			switch {
+			case tr.To.Total() == m.Total()+1:
+				if !ok {
+					j = i // clip at the frontier
+				}
+				c.arrival.Inc(i, j, tr.Rate/lamN)
+			case tr.To.Total() == m.Total()-1:
+				if !ok {
+					return nil, fmt.Errorf("embedded: departure %v → %v escaped the enumeration", m, tr.To)
+				}
+				if j != i {
+					qs.Inc(i, j, tr.Rate)
+					qs.Inc(i, i, -tr.Rate)
+				}
+			default:
+				return nil, fmt.Errorf("embedded: transition %v → %v changes total by more than one", m, tr.To)
+			}
+		}
+	}
+
+	// Interarrival propagator P and the Markov-renewal reward vector, per
+	// branch: stage resolvents S_ν = ν(νI − Q_s)⁻¹ and R_ν = (νI − Q_s)⁻¹.
+	wait := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wait[i] = float64(c.ix.At(i).WaitingJobs())
+	}
+	prop := mat.NewDense(n, n)
+	c.reward = make([]float64, n)
+	for _, b := range c.Law.Branches {
+		shifted := mat.Identity(n).Scale(b.Rate).Sub(qs)
+		f, err := mat.Factorize(shifted)
+		if err != nil {
+			return nil, fmt.Errorf("embedded: resolvent at rate %v: %w", b.Rate, err)
+		}
+		rw := f.Solve(wait) // R_ν·w
+		stage := f.SolveMat(mat.Identity(n).Scale(b.Rate))
+		// Accumulate Σ_{j<r} S_ν^j·(R_ν·w) and S_ν^r.
+		cur := mat.Identity(n)
+		for j := 0; j < b.Stages; j++ {
+			contrib := cur.MulVec(rw)
+			for i := range c.reward {
+				c.reward[i] += b.Weight * contrib[i]
+			}
+			cur = cur.Mul(stage)
+		}
+		prop = prop.Add(cur.Scale(b.Weight))
+	}
+	c.kernel = c.arrival.Mul(prop)
+	return c, nil
+}
+
+// Solve computes the embedded stationary distribution and the
+// time-average delay metrics.
+func (c *Chain) Solve() (*Result, error) {
+	n := c.ix.Len()
+	// π(M − I) = 0 with one equation replaced by normalization.
+	sys := c.kernel.Sub(mat.Identity(n))
+	for i := 0; i < n; i++ {
+		sys.Set(i, 0, 1)
+	}
+	rhs := make([]float64, n)
+	rhs[0] = 1
+	pi, err := mat.SolveLeft(sys, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("embedded: stationary solve: %w", err)
+	}
+	for _, v := range pi {
+		if v < -1e-8 {
+			return nil, fmt.Errorf("embedded: negative stationary mass %v (truncation too shallow?)", v)
+		}
+	}
+	res := &Result{Pi: pi}
+	// Markov-renewal reward: cycle reward / cycle length.
+	postArrival := c.arrival.VecMul(pi)
+	res.MeanWaiting = mat.Dot(postArrival, c.reward) / c.Law.Mean()
+	lamN := c.P.TotalArrivalRate()
+	res.MeanWait = res.MeanWaiting / lamN
+	res.MeanDelay = res.MeanWait + 1
+	return res, nil
+}
+
+// BlockMass returns the embedded stationary mass of block q ≥ 0 of the
+// paper's partition, for verifying Theorem 2's σᴺ tail.
+func (c *Chain) BlockMass(pi []float64, q int) float64 {
+	mass := 0.0
+	for i, p := range pi {
+		if statespace.BlockOf(c.P.N, c.P.T, c.ix.At(i).Total()) == q {
+			mass += p
+		}
+	}
+	return mass
+}
+
+// FrontierMass returns the stationary mass within one block of the
+// truncation frontier — the caller's check that maxTotal was deep enough.
+func (c *Chain) FrontierMass(pi []float64) float64 {
+	maxTotal := 0
+	for i := 0; i < c.ix.Len(); i++ {
+		if t := c.ix.At(i).Total(); t > maxTotal {
+			maxTotal = t
+		}
+	}
+	mass := 0.0
+	for i, p := range pi {
+		if c.ix.At(i).Total() > maxTotal-c.P.N {
+			mass += p
+		}
+	}
+	return mass
+}

@@ -1,0 +1,160 @@
+package embedded
+
+import (
+	"math"
+	"testing"
+
+	"finitelb/internal/asym"
+	"finitelb/internal/qbd"
+	"finitelb/internal/sqd"
+)
+
+func bp(n, d int, rho float64, t int) sqd.BoundParams {
+	return sqd.BoundParams{Params: sqd.Params{N: n, D: d, Rho: rho}, T: t}
+}
+
+func TestLawConstructors(t *testing.T) {
+	if m := Exponential(2).Mean(); math.Abs(m-0.5) > 1e-15 {
+		t.Errorf("Exponential mean = %v", m)
+	}
+	if m := Erlang(4, 8).Mean(); math.Abs(m-0.5) > 1e-15 {
+		t.Errorf("Erlang mean = %v", m)
+	}
+	if m := HyperExp(0.5, 1, 2).Mean(); math.Abs(m-0.75) > 1e-15 {
+		t.Errorf("HyperExp mean = %v", m)
+	}
+	for _, bad := range []Law{
+		{},
+		{Branches: []Branch{{Weight: 0.5, Stages: 1, Rate: 1}}},
+		{Branches: []Branch{{Weight: 1, Stages: 0, Rate: 1}}},
+		{Branches: []Branch{{Weight: 1, Stages: 1, Rate: -1}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("law %+v accepted", bad)
+		}
+	}
+}
+
+func TestNewRejectsMismatchedMean(t *testing.T) {
+	p := bp(3, 2, 0.8, 2)
+	if _, err := New(p, Exponential(1.0), 60); err == nil {
+		t.Error("law with wrong mean accepted")
+	}
+	if _, err := New(p, Exponential(2.4), 10); err == nil {
+		t.Error("too-shallow truncation accepted")
+	}
+}
+
+// TestPoissonMatchesCTMC: with exponential interarrivals the embedded
+// construction must reproduce the continuous-time lower bound exactly —
+// same model, different clockwork.
+func TestPoissonMatchesCTMC(t *testing.T) {
+	for _, cfg := range []struct {
+		n, d int
+		rho  float64
+		tt   int
+		max  int
+	}{{3, 2, 0.8, 2, 120}, {3, 3, 0.6, 2, 90}, {2, 2, 0.9, 3, 180}} {
+		p := bp(cfg.n, cfg.d, cfg.rho, cfg.tt)
+		lamN := p.TotalArrivalRate()
+		ch, err := New(p, Exponential(lamN), cfg.max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ch.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm := ch.FrontierMass(res.Pi); fm > 1e-8 {
+			t.Fatalf("%+v: frontier mass %v too large", cfg, fm)
+		}
+		ctmc, err := qbd.Solve(&sqd.LowerBound{P: p}, qbd.Options{ImprovedLB: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.MeanDelay-ctmc.MeanDelay) / ctmc.MeanDelay; rel > 1e-6 {
+			t.Errorf("%+v: embedded %v vs CTMC %v (%.2g rel)", cfg, res.MeanDelay, ctmc.MeanDelay, rel)
+		}
+	}
+}
+
+// TestTheorem2SigmaTail: the embedded stationary distribution's block tail
+// ratio must equal σᴺ with σ the root of x = Σ xᵏβ_k — Theorem 2, for
+// non-Poisson renewal arrivals. The β_k here use the aggregate service
+// rate N (all servers busy beyond the boundary).
+func TestTheorem2SigmaTail(t *testing.T) {
+	const n, d, rho, tt = 3, 2, 0.8, 2
+	p := bp(n, d, rho, tt)
+	lamN := p.TotalArrivalRate()
+
+	// Hyperexponential with mean 1/λN: 0.2/(0.5λN) + 0.8/((4/3)λN) = 1/λN.
+	h1, h2 := lamN*0.5, lamN*4.0/3.0
+	cases := []struct {
+		name  string
+		law   Law
+		betas asym.BetaFunc
+	}{
+		{"erlang2", Erlang(2, 2*lamN), asym.ErlangBetas(2, lamN, float64(n))},
+		{"hyperexp", HyperExp(0.2, h1, h2), func(k int) float64 {
+			return 0.2*asym.PoissonBetas(h1, float64(n))(k) +
+				0.8*asym.PoissonBetas(h2, float64(n))(k)
+		}},
+		{"poisson", Exponential(lamN), asym.PoissonBetas(lamN, float64(n))},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.law.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if m := tc.law.Mean(); math.Abs(m-1/lamN) > 1e-9 {
+				t.Fatalf("test setup: law mean %v ≠ %v", m, 1/lamN)
+			}
+			ch, err := New(p, tc.law, 120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ch.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigma, err := asym.SolveSigma(tc.betas, 1e-13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := math.Pow(sigma, float64(n))
+			// Interior blocks: away from boundary and truncation.
+			for q := 3; q <= 6; q++ {
+				got := ch.BlockMass(res.Pi, q+1) / ch.BlockMass(res.Pi, q)
+				if math.Abs(got-want) > 1e-6 {
+					t.Errorf("block ratio π_%d/π_%d = %.9f, want σᴺ = %.9f", q+1, q, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestVariabilityOrdering: at equal utilization, smoother arrivals yield
+// smaller lower-bound delay; burstier arrivals larger — the GI extension's
+// headline consequence.
+func TestVariabilityOrdering(t *testing.T) {
+	p := bp(3, 2, 0.8, 2)
+	lamN := p.TotalArrivalRate()
+	delay := func(law Law) float64 {
+		ch, err := New(p, law, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ch.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanDelay
+	}
+	erl := delay(Erlang(4, 4*lamN))
+	poi := delay(Exponential(lamN))
+	hyp := delay(HyperExp(0.2, lamN*0.5, lamN*4.0/3.0))
+	if !(erl < poi && poi < hyp) {
+		t.Errorf("ordering violated: Erlang4 %v, Poisson %v, HyperExp %v", erl, poi, hyp)
+	}
+}

@@ -1,0 +1,259 @@
+// Package figures regenerates every data figure of the paper's evaluation
+// (Section V): Figure 9's relative error of the asymptotic approximation
+// versus simulation, and Figure 10's bound/simulation/asymptotic delay
+// curves across utilizations. It is shared by cmd/figures and the
+// top-level benchmark harness.
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"finitelb/internal/asym"
+	"finitelb/internal/plot"
+	"finitelb/internal/qbd"
+	"finitelb/internal/sim"
+	"finitelb/internal/sqd"
+)
+
+// forEach runs fn(i) for i in [0, n) on up to GOMAXPROCS workers and
+// returns the first error. Every figure point is seeded deterministically
+// from its own coordinates, so parallel execution is reproducible.
+func forEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// SimBudget controls the simulation fidelity of the figure runs. The paper
+// simulates 1e8 jobs per point and discards the first 1e7; that takes hours
+// in total, so the default budget is scaled down 50× — enough for every
+// qualitative claim — and can be raised from the command line.
+type SimBudget struct {
+	Jobs int64
+	Seed uint64
+}
+
+func (b *SimBudget) setDefaults() {
+	if b.Jobs <= 0 {
+		b.Jobs = 2_000_000
+	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+}
+
+// Fig9Config describes one panel of Figure 9.
+type Fig9Config struct {
+	Rho float64 // utilization (0.75 for panel a, 0.95 for panel b)
+	Ds  []int   // choice counts; paper: 2, 5, 10, 25, 50
+	Ns  []int   // server counts; paper sweeps to 250
+}
+
+// DefaultFig9 returns the paper's panel configuration.
+func DefaultFig9(rho float64) Fig9Config {
+	return Fig9Config{
+		Rho: rho,
+		Ds:  []int{2, 5, 10, 25, 50},
+		Ns:  []int{5, 10, 15, 25, 50, 75, 100, 150, 200, 250},
+	}
+}
+
+// Fig9 computes the relative error (%) of the asymptotic delay (Eq. (16))
+// against simulation, one series per d over the N axis (points with N < d
+// are skipped).
+func Fig9(cfg Fig9Config, budget SimBudget) (*plot.Chart, error) {
+	budget.setDefaults()
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("Fig 9: relative error of asymptotic delay vs simulation (ρ = %g)", cfg.Rho),
+		XLabel: "number of servers N",
+		YLabel: "relative error (%)",
+	}
+	// Enumerate the (d, N) grid, simulate the points in parallel with
+	// per-point deterministic seeds, then assemble series in grid order.
+	type point struct {
+		d, n   int
+		relErr float64
+	}
+	var pts []point
+	for _, d := range cfg.Ds {
+		for _, n := range cfg.Ns {
+			if n >= d {
+				pts = append(pts, point{d: d, n: n})
+			}
+		}
+	}
+	err := forEach(len(pts), func(i int) error {
+		p := &pts[i]
+		res, err := sim.Run(sqd.Params{N: p.n, D: p.d, Rho: cfg.Rho}, sim.Options{
+			Jobs: budget.Jobs,
+			Seed: budget.Seed + uint64(p.n)*1000 + uint64(p.d),
+		})
+		if err != nil {
+			return fmt.Errorf("figures: fig9 N=%d d=%d: %w", p.n, p.d, err)
+		}
+		p.relErr = math.Abs(res.MeanDelay-asym.Delay(p.d, cfg.Rho)) / res.MeanDelay * 100
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range cfg.Ds {
+		s := plot.Series{Name: fmt.Sprintf("d=%d", d)}
+		for _, p := range pts {
+			if p.d != d {
+				continue
+			}
+			s.X = append(s.X, float64(p.n))
+			s.Y = append(s.Y, p.relErr)
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart, nil
+}
+
+// Fig10Config describes one panel of Figure 10.
+type Fig10Config struct {
+	N, D, T int
+	Rhos    []float64
+}
+
+// DefaultFig10 returns a paper panel: SQ(2) with the given N and T over
+// the utilization axis.
+func DefaultFig10(n, t int) Fig10Config {
+	rhos := make([]float64, 0, 19)
+	for r := 0.05; r < 0.96; r += 0.05 {
+		rhos = append(rhos, math.Round(r*100)/100)
+	}
+	return Fig10Config{N: n, D: 2, T: t, Rhos: rhos}
+}
+
+// Fig10Point is one utilization's worth of Figure 10 data.
+type Fig10Point struct {
+	Rho        float64
+	Lower      float64
+	Upper      float64 // NaN when the upper-bound model is unstable at this ρ
+	Simulated  float64
+	SimCI      float64
+	Asymptotic float64
+}
+
+// Fig10 computes the four curves of one Figure 10 panel: matrix-geometric
+// upper bound, simulation, improved (Theorem 3) lower bound, and the
+// asymptotic approximation. Upper-bound instability at high ρ is recorded
+// as NaN, mirroring the truncated curves in the paper's plots.
+func Fig10(cfg Fig10Config, budget SimBudget) ([]Fig10Point, *plot.Chart, error) {
+	budget.setDefaults()
+	points := make([]Fig10Point, len(cfg.Rhos))
+	err := forEach(len(cfg.Rhos), func(i int) error {
+		rho := cfg.Rhos[i]
+		bp := sqd.BoundParams{Params: sqd.Params{N: cfg.N, D: cfg.D, Rho: rho}, T: cfg.T}
+		pt := Fig10Point{Rho: rho, Asymptotic: asym.Delay(cfg.D, rho)}
+
+		lb, err := qbd.Solve(&sqd.LowerBound{P: bp}, qbd.Options{ImprovedLB: true})
+		if err != nil {
+			return fmt.Errorf("figures: fig10 lower ρ=%v: %w", rho, err)
+		}
+		pt.Lower = lb.MeanDelay
+
+		ub, err := qbd.Solve(&sqd.UpperBound{P: bp}, qbd.Options{})
+		switch {
+		case errors.Is(err, qbd.ErrUnstable):
+			pt.Upper = math.NaN()
+		case err != nil:
+			return fmt.Errorf("figures: fig10 upper ρ=%v: %w", rho, err)
+		default:
+			pt.Upper = ub.MeanDelay
+		}
+
+		sr, err := sim.Run(bp.Params, sim.Options{Jobs: budget.Jobs, Seed: budget.Seed + uint64(rho*1000)})
+		if err != nil {
+			return fmt.Errorf("figures: fig10 sim ρ=%v: %w", rho, err)
+		}
+		pt.Simulated = sr.MeanDelay
+		pt.SimCI = sr.HalfWidth
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	chart := &plot.Chart{
+		Title: fmt.Sprintf("Fig 10: average delay vs utilization, SQ(%d), N=%d, T=%d",
+			cfg.D, cfg.N, cfg.T),
+		XLabel: "utilization ρ",
+		YLabel: "average delay",
+		YMax:   5, // the paper's axis limit
+	}
+	series := []struct {
+		name string
+		get  func(Fig10Point) float64
+	}{
+		{"upper-bound", func(p Fig10Point) float64 { return p.Upper }},
+		{"simulation", func(p Fig10Point) float64 { return p.Simulated }},
+		{"lower-bound", func(p Fig10Point) float64 { return p.Lower }},
+		{"asymptotic", func(p Fig10Point) float64 { return p.Asymptotic }},
+	}
+	for _, sp := range series {
+		s := plot.Series{Name: sp.name}
+		for _, p := range points {
+			s.X = append(s.X, p.Rho)
+			s.Y = append(s.Y, sp.get(p))
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return points, chart, nil
+}
+
+// CheckFig10Invariants verifies the qualitative claims of Figure 10 on
+// computed points: bounds bracket simulation (within CI slack), and the
+// asymptotic curve underestimates at high utilization. It returns a
+// human-readable list of violations (empty means the panel reproduces).
+func CheckFig10Invariants(points []Fig10Point) []string {
+	var bad []string
+	for _, p := range points {
+		slack := 4*p.SimCI + 0.02*p.Simulated
+		if p.Lower > p.Simulated+slack {
+			bad = append(bad, fmt.Sprintf("ρ=%.2f: lower bound %.4f above simulation %.4f", p.Rho, p.Lower, p.Simulated))
+		}
+		if !math.IsNaN(p.Upper) && p.Upper < p.Simulated-slack {
+			bad = append(bad, fmt.Sprintf("ρ=%.2f: upper bound %.4f below simulation %.4f", p.Rho, p.Upper, p.Simulated))
+		}
+		if p.Rho >= 0.9 && p.Asymptotic > p.Simulated+slack {
+			bad = append(bad, fmt.Sprintf("ρ=%.2f: asymptotic %.4f above simulation %.4f at high load", p.Rho, p.Asymptotic, p.Simulated))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,101 @@
+package figures
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyBudget keeps figure tests fast; statistical assertions are loose
+// accordingly.
+var tinyBudget = SimBudget{Jobs: 60_000, Seed: 5}
+
+func TestFig9SmallGrid(t *testing.T) {
+	cfg := Fig9Config{Rho: 0.75, Ds: []int{2, 5}, Ns: []int{3, 10, 40}}
+	chart, err := Fig9(cfg, tinyBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chart.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(chart.Series))
+	}
+	d2 := chart.Series[0]
+	if len(d2.X) != 3 {
+		t.Fatalf("d=2 points = %d, want 3", len(d2.X))
+	}
+	// The relative error must shrink substantially from N=3 to N=40.
+	if !(d2.Y[0] > d2.Y[2]) {
+		t.Errorf("error not decreasing in N: %v", d2.Y)
+	}
+	// d=5 skips N=3 < d.
+	if len(chart.Series[1].X) != 2 {
+		t.Errorf("d=5 points = %v, want N ≥ d only", chart.Series[1].X)
+	}
+	var buf bytes.Buffer
+	if err := chart.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ρ = 0.75") {
+		t.Error("chart title missing utilization")
+	}
+}
+
+func TestFig10SmallGrid(t *testing.T) {
+	cfg := Fig10Config{N: 3, D: 2, T: 3, Rhos: []float64{0.4, 0.7, 0.9}}
+	points, chart, err := Fig10(cfg, tinyBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if !(p.Lower > 1 && p.Simulated > 1 && p.Asymptotic > 1) {
+			t.Errorf("ρ=%v: degenerate values %+v", p.Rho, p)
+		}
+		if !math.IsNaN(p.Upper) && p.Upper < p.Lower {
+			t.Errorf("ρ=%v: upper %v below lower %v", p.Rho, p.Upper, p.Lower)
+		}
+	}
+	if bad := CheckFig10Invariants(points); len(bad) > 0 {
+		t.Errorf("invariant violations: %v", bad)
+	}
+	if got := len(chart.Series); got != 4 {
+		t.Errorf("series = %d, want 4", got)
+	}
+}
+
+func TestFig10UnstableUpperIsNaN(t *testing.T) {
+	cfg := Fig10Config{N: 3, D: 2, T: 2, Rhos: []float64{0.95}}
+	points, _, err := Fig10(cfg, tinyBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(points[0].Upper) {
+		t.Errorf("T=2 at ρ=0.95 should be unstable, got UB %v", points[0].Upper)
+	}
+	if points[0].Lower <= 1 {
+		t.Errorf("lower bound %v must still compute", points[0].Lower)
+	}
+}
+
+func TestCheckFig10InvariantsFlagsViolations(t *testing.T) {
+	bad := CheckFig10Invariants([]Fig10Point{{
+		Rho: 0.9, Lower: 5, Upper: 2, Simulated: 3, SimCI: 0.001, Asymptotic: 6,
+	}})
+	if len(bad) != 3 {
+		t.Errorf("want 3 violations (LB above sim, UB below sim, asym above sim), got %v", bad)
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	f9 := DefaultFig9(0.95)
+	if f9.Rho != 0.95 || len(f9.Ds) != 5 || f9.Ns[len(f9.Ns)-1] != 250 {
+		t.Errorf("DefaultFig9 = %+v", f9)
+	}
+	f10 := DefaultFig10(12, 3)
+	if f10.N != 12 || f10.D != 2 || f10.T != 3 || len(f10.Rhos) != 19 {
+		t.Errorf("DefaultFig10 = %+v", f10)
+	}
+}

@@ -1,0 +1,131 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"finitelb/internal/asym"
+	"finitelb/internal/sqd"
+)
+
+func solveDist(t *testing.T, p sqd.Params, cap int) (Result, *Distribution) {
+	t.Helper()
+	res, dist, err := SolveExactDistribution(p, ExactOptions{QueueCap: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, dist
+}
+
+func TestDistributionSelectedSumsToOne(t *testing.T) {
+	_, dist := solveDist(t, sqd.Params{N: 3, D: 2, Rho: 0.8}, 30)
+	sum := 0.0
+	for _, p := range dist.Selected {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σ Selected = %v, want 1", sum)
+	}
+}
+
+// TestDistributionMeanConsistency: the Erlang-mixture mean must equal the
+// Little's-law mean from the stationary solve — two independent derivations
+// of E[sojourn].
+func TestDistributionMeanConsistency(t *testing.T) {
+	for _, p := range []sqd.Params{
+		{N: 3, D: 2, Rho: 0.8},
+		{N: 3, D: 3, Rho: 0.6},
+		{N: 2, D: 1, Rho: 0.5},
+	} {
+		res, dist := solveDist(t, p, 40)
+		if got, want := dist.MeanDelay(), res.MeanDelay; math.Abs(got-want) > 1e-6*want {
+			t.Errorf("%+v: mixture mean %v vs Little mean %v", p, got, want)
+		}
+	}
+}
+
+// TestDistributionMM1Tail: for d=1 the sojourn is exponential with rate
+// 1−ρ (M/M/1), giving an exact closed form to verify the machinery.
+func TestDistributionMM1Tail(t *testing.T) {
+	const rho = 0.6
+	_, dist := solveDist(t, sqd.Params{N: 1, D: 1, Rho: rho}, 200)
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		want := math.Exp(-(1 - rho) * x)
+		if got := dist.DelayTail(x); math.Abs(got-want) > 1e-6 {
+			t.Errorf("P(T > %v) = %v, want %v", x, got, want)
+		}
+	}
+	// Quantiles of Exp(1−ρ): q-quantile = −ln(1−q)/(1−ρ).
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := -math.Log(1-q) / (1 - rho)
+		if got := dist.Quantile(q, 1e-9); math.Abs(got-want) > 1e-5 {
+			t.Errorf("quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+// TestDistributionServerTailMM1: the d=1 marginal is geometric ρᵏ.
+func TestDistributionServerTailMM1(t *testing.T) {
+	const rho = 0.7
+	_, dist := solveDist(t, sqd.Params{N: 2, D: 1, Rho: rho}, 150)
+	for k := 0; k <= 10; k++ {
+		want := math.Pow(rho, float64(k))
+		if got := dist.ServerTail[k]; math.Abs(got-want) > 1e-6 {
+			t.Errorf("P(server ≥ %d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestServerTailDoublyExponential: the finite-N SQ(2) tail must collapse
+// dramatically faster than geometric — the power-of-two effect in the
+// distribution, and approach the asymptotic fixed point as N grows.
+func TestServerTailDoublyExponential(t *testing.T) {
+	const rho = 0.9
+	// Cap 12 keeps the space at C(18,6) ≈ 18.5k states; the SQ(2) tail at
+	// level 12 is already ≈ 0, so the clip is invisible at k=4.
+	_, dist := solveDist(t, sqd.Params{N: 6, D: 2, Rho: rho}, 12)
+	// Geometric would give ρ⁴ ≈ 0.656; the SQ(2) asymptotic gives
+	// ρ^15 ≈ 0.206. Finite N=6 must land near the latter.
+	asy := asym.QueueTail(2, rho, 4)
+	got := dist.ServerTail[4]
+	if got > 0.4 {
+		t.Errorf("P(server ≥ 4) = %v: no doubly-exponential collapse", got)
+	}
+	if math.Abs(got-asy) > 0.15 {
+		t.Errorf("finite tail %v too far from asymptotic %v", got, asy)
+	}
+	// And the finite-N tail should sit slightly above the asymptotic one
+	// at high load (the same finite-regime pessimism as the mean).
+	if got < asy/2 {
+		t.Errorf("finite tail %v implausibly below asymptotic %v", got, asy)
+	}
+}
+
+// TestDistributionLittleLawServerTail: Σ_k≥1 ServerTail[k] = mean jobs per
+// server = ρ·MeanDelay.
+func TestDistributionLittleLawServerTail(t *testing.T) {
+	p := sqd.Params{N: 3, D: 2, Rho: 0.75}
+	res, dist := solveDist(t, p, 30)
+	var jobs float64
+	for k := 1; k < len(dist.ServerTail); k++ {
+		jobs += dist.ServerTail[k]
+	}
+	want := p.Rho * res.MeanDelay
+	if math.Abs(jobs-want) > 1e-6*want {
+		t.Errorf("Σ ServerTail = %v, want ρ·E[T] = %v", jobs, want)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	_, dist := solveDist(t, sqd.Params{N: 2, D: 2, Rho: 0.5}, 20)
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			dist.Quantile(q, 0)
+		}()
+	}
+}

@@ -1,0 +1,249 @@
+// Package mat provides the dense and sparse linear algebra needed by the
+// matrix-geometric machinery: LU factorization with partial pivoting,
+// linear solves on both sides, inverses, norms, power iteration, and
+// stationary-distribution solvers for large sparse generators.
+//
+// It is deliberately small and allocation-conscious rather than general:
+// everything operates on float64, matrices are dense row-major or CSR, and
+// dimensions are validated eagerly with panics (programmer errors) while
+// numerical failures (singularity, non-convergence) are reported as errors.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// numerically singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// Dense is a dense row-major matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseFrom builds a matrix from a slice of rows, copying the data.
+func NewDenseFrom(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: empty input")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.cols {
+			panic("mat: ragged rows")
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Inc adds v to the element at row i, column j.
+func (m *Dense) Inc(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Add returns m + b as a new matrix.
+func (m *Dense) Add(b *Dense) *Dense {
+	m.sameShape(b)
+	c := m.Clone()
+	for i, v := range b.data {
+		c.data[i] += v
+	}
+	return c
+}
+
+// Sub returns m − b as a new matrix.
+func (m *Dense) Sub(b *Dense) *Dense {
+	m.sameShape(b)
+	c := m.Clone()
+	for i, v := range b.data {
+		c.data[i] -= v
+	}
+	return c
+}
+
+// Scale returns s·m as a new matrix.
+func (m *Dense) Scale(s float64) *Dense {
+	c := m.Clone()
+	for i := range c.data {
+		c.data[i] *= s
+	}
+	return c
+}
+
+// Mul returns the matrix product m·b as a new matrix.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: dimension mismatch %d×%d · %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	c := NewDense(m.rows, b.cols)
+	// ikj loop order: streams through b and c rows for cache friendliness.
+	for i := 0; i < m.rows; i++ {
+		ci := c.data[i*c.cols : (i+1)*c.cols]
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range bk {
+				ci[j] += a * bv
+			}
+		}
+	}
+	return c
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if m.cols != len(x) {
+		panic("mat: dimension mismatch in MulVec")
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// VecMul returns the vector-matrix product x·m (x as a row vector).
+func (m *Dense) VecMul(x []float64) []float64 {
+	if m.rows != len(x) {
+		panic("mat: dimension mismatch in VecMul")
+	}
+	y := make([]float64, m.cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+	return y
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// MaxAbs returns the largest absolute entry of m.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// NormInf returns the maximum absolute row sum of m.
+func (m *Dense) NormInf() float64 {
+	var mx float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += math.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// RowSums returns the vector of row sums.
+func (m *Dense) RowSums() []float64 {
+	s := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for _, v := range m.Row(i) {
+			s[i] += v
+		}
+	}
+	return s
+}
+
+// AlmostEqual reports whether every entry of m and b differs by at most tol.
+func (m *Dense) AlmostEqual(b *Dense, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Dense) sameShape(b *Dense) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: shape mismatch %d×%d vs %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			s += fmt.Sprintf("%10.5f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,351 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseFrom(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("got %d×%d, want 2×2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("Identity(4).At(%d,%d) = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := NewDenseFrom([][]float64{{19, 22}, {43, 50}})
+	if !c.AlmostEqual(want, 0) {
+		t.Errorf("Mul:\n%vwant:\n%v", c, want)
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 1 + rng.IntN(8)
+		a := randomMatrix(rng, n, n, 1)
+		return a.Mul(Identity(n)).AlmostEqual(a, 1e-12) &&
+			Identity(n).Mul(a).AlmostEqual(a, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 1 + rng.IntN(6)
+		a := randomMatrix(rng, n, n, 1)
+		b := randomMatrix(rng, n, n, 1)
+		c := randomMatrix(rng, n, n, 1)
+		return a.Mul(b).Mul(c).AlmostEqual(a.Mul(b.Mul(c)), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{4, 3}, {2, 1}})
+	if got := a.Add(b); !got.AlmostEqual(NewDenseFrom([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Errorf("Add wrong:\n%v", got)
+	}
+	if got := a.Sub(a); got.MaxAbs() != 0 {
+		t.Errorf("Sub(self) nonzero:\n%v", got)
+	}
+	if got := a.Scale(2); !got.AlmostEqual(NewDenseFrom([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Errorf("Scale wrong:\n%v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("T shape %d×%d, want 3×2", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 {
+		t.Errorf("T()(2,1) = %v, want 6", at.At(2, 1))
+	}
+	if !at.T().AlmostEqual(a, 0) {
+		t.Error("double transpose is not identity")
+	}
+}
+
+func TestVecMulMulVec(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	x := []float64{1, 1}
+	got := a.MulVec(x)
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+	got = a.VecMul(x)
+	if got[0] != 4 || got[1] != 6 {
+		t.Errorf("VecMul = %v, want [4 6]", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, -2}, {-3, 4}})
+	if a.MaxAbs() != 4 {
+		t.Errorf("MaxAbs = %v, want 4", a.MaxAbs())
+	}
+	if a.NormInf() != 7 {
+		t.Errorf("NormInf = %v, want 7", a.NormInf())
+	}
+	rs := a.RowSums()
+	if rs[0] != -1 || rs[1] != 1 {
+		t.Errorf("RowSums = %v, want [-1 1]", rs)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	a := NewDenseFrom([][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}})
+	b := []float64{5, -2, 9}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := a.MulVec(x)
+	for i := range b {
+		if math.Abs(back[i]-b[i]) > 1e-10 {
+			t.Fatalf("residual %v at %d: Ax = %v, b = %v", back[i]-b[i], i, back, b)
+		}
+	}
+}
+
+func TestLUSolveRandomProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 1 + rng.IntN(12)
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*2 - 1
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		back := a.MulVec(x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err == nil {
+		t.Error("Factorize of singular matrix succeeded, want error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewDenseFrom([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).AlmostEqual(Identity(2), 1e-12) {
+		t.Errorf("A·A⁻¹ ≠ I:\n%v", a.Mul(inv))
+	}
+}
+
+func TestInverseRandomProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 4))
+		n := 1 + rng.IntN(10)
+		a := randomDiagDominant(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return a.Mul(inv).AlmostEqual(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewDenseFrom([][]float64{{3, 8}, {4, 6}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-(-14)) > 1e-12 {
+		t.Errorf("Det = %v, want -14", d)
+	}
+}
+
+func TestSolveLeft(t *testing.T) {
+	a := NewDenseFrom([][]float64{{2, 1}, {1, 3}})
+	b := []float64{4, 7}
+	x, err := SolveLeft(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := a.VecMul(x)
+	for i := range b {
+		if math.Abs(back[i]-b[i]) > 1e-12 {
+			t.Fatalf("x·A = %v, want %v", back, b)
+		}
+	}
+}
+
+func TestSolveMatLeft(t *testing.T) {
+	a := NewDenseFrom([][]float64{{2, 0}, {1, 3}})
+	b := NewDenseFrom([][]float64{{4, 6}, {2, 9}})
+	x, err := SolveMatLeft(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Mul(a).AlmostEqual(b, 1e-12) {
+		t.Errorf("X·A ≠ B:\n%v", x.Mul(a))
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	// Stochastic matrix: spectral radius exactly 1.
+	p := NewDenseFrom([][]float64{{0.5, 0.5}, {0.2, 0.8}})
+	sp, err := SpectralRadius(p, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp-1) > 1e-9 {
+		t.Errorf("SpectralRadius(stochastic) = %v, want 1", sp)
+	}
+	// Strictly substochastic: radius < 1.
+	q := p.Scale(0.7)
+	sp, err = SpectralRadius(q, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp-0.7) > 1e-9 {
+		t.Errorf("SpectralRadius(0.7·stochastic) = %v, want 0.7", sp)
+	}
+}
+
+func TestGeometricInv(t *testing.T) {
+	r := NewDenseFrom([][]float64{{0.2, 0.1}, {0.05, 0.3}})
+	inv, err := GeometricInv(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare to the truncated Neumann series Σ Rᵏ.
+	sum := Identity(2)
+	pow := Identity(2)
+	for k := 0; k < 200; k++ {
+		pow = pow.Mul(r)
+		sum = sum.Add(pow)
+	}
+	if !inv.AlmostEqual(sum, 1e-10) {
+		t.Errorf("(I−R)⁻¹ ≠ Σ Rᵏ:\n%v\nvs\n%v", inv, sum)
+	}
+}
+
+func TestGeometricVecSums(t *testing.T) {
+	r := NewDenseFrom([][]float64{{0.3, 0.2}, {0.1, 0.25}})
+	x := []float64{1, 2}
+	got, err := GeometricVecSum(x, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct series Σ x·Rᵏ.
+	want := make([]float64, 2)
+	cur := append([]float64(nil), x...)
+	for k := 0; k < 300; k++ {
+		for i := range want {
+			want[i] += cur[i]
+		}
+		cur = r.VecMul(cur)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("GeometricVecSum = %v, want %v", got, want)
+		}
+	}
+
+	gotW, err := GeometricWeightedVecSum(x, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := make([]float64, 2)
+	cur = append([]float64(nil), x...)
+	for k := 0; k < 300; k++ {
+		for i := range wantW {
+			wantW[i] += float64(k) * cur[i]
+		}
+		cur = r.VecMul(cur)
+	}
+	for i := range wantW {
+		if math.Abs(gotW[i]-wantW[i]) > 1e-9 {
+			t.Fatalf("GeometricWeightedVecSum = %v, want %v", gotW, wantW)
+		}
+	}
+}
+
+func TestDotVecHelpers(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Errorf("Dot = %v, want 32", d)
+	}
+	if s := VecSum([]float64{1, 2, 3}); s != 6 {
+		t.Errorf("VecSum = %v, want 6", s)
+	}
+	x := VecScale([]float64{2, 4}, 0.5)
+	if x[0] != 1 || x[1] != 2 {
+		t.Errorf("VecScale = %v, want [1 2]", x)
+	}
+}
+
+// randomMatrix returns an r×c matrix with entries uniform in [−scale, scale].
+func randomMatrix(rng *rand.Rand, r, c int, scale float64) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, (rng.Float64()*2-1)*scale)
+		}
+	}
+	return m
+}
+
+// randomDiagDominant returns a well-conditioned random square matrix.
+func randomDiagDominant(rng *rand.Rand, n int) *Dense {
+	m := randomMatrix(rng, n, n, 1)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+float64(n)+1)
+	}
+	return m
+}

@@ -1,0 +1,152 @@
+package mat
+
+import "math"
+
+// LU holds an LU factorization with partial pivoting of a square matrix:
+// P·A = L·U, stored compactly in lu with the permutation in piv.
+type LU struct {
+	lu   *Dense
+	piv  []int
+	sign int
+}
+
+// Factorize computes the LU factorization of a. It returns ErrSingular if a
+// pivot is exactly zero or smaller in magnitude than a conservative
+// threshold scaled by the matrix norm.
+func Factorize(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		panic("mat: Factorize requires a square matrix")
+	}
+	n := a.rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	tiny := 1e-300 // absolute floor; relative conditioning is the caller's concern
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest |entry| in column k at or below row k.
+		p, pmax := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > pmax {
+				p, pmax = i, v
+			}
+		}
+		if pmax < tiny {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b for x, overwriting nothing; b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic("mat: dimension mismatch in LU.Solve")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+	return x
+}
+
+// SolveMat solves A·X = B column by column and returns X.
+func (f *LU) SolveMat(b *Dense) *Dense {
+	n := f.lu.rows
+	if b.rows != n {
+		panic("mat: dimension mismatch in LU.SolveMat")
+	}
+	x := NewDense(n, b.cols)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		sol := f.Solve(col)
+		for i := 0; i < n; i++ {
+			x.Set(i, j, sol[i])
+		}
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Inverse returns A⁻¹ or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMat(Identity(a.rows)), nil
+}
+
+// Solve solves A·x = b.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// SolveLeft solves x·A = b for the row vector x (equivalently Aᵀ·xᵀ = bᵀ).
+func SolveLeft(a *Dense, b []float64) ([]float64, error) {
+	return Solve(a.T(), b)
+}
+
+// SolveMatLeft solves X·A = B for X.
+func SolveMatLeft(a, b *Dense) (*Dense, error) {
+	f, err := Factorize(a.T())
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMat(b.T()).T(), nil
+}

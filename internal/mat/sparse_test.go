@@ -1,0 +1,140 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCSRAssembly(t *testing.T) {
+	ts := []Triplet{
+		{Row: 1, Col: 0, Val: 3},
+		{Row: 0, Col: 1, Val: 2},
+		{Row: 0, Col: 1, Val: 5}, // duplicate: summed
+		{Row: 2, Col: 2, Val: 1},
+	}
+	m := NewCSR(3, 3, ts)
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (duplicates summed)", m.NNZ())
+	}
+	got := map[[2]int]float64{}
+	for i := 0; i < 3; i++ {
+		m.RowNZ(i, func(j int, v float64) { got[[2]int{i, j}] = v })
+	}
+	want := map[[2]int]float64{{0, 1}: 7, {1, 0}: 3, {2, 2}: 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("entry %v = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCSREmptyRows(t *testing.T) {
+	// Rows 0 and 2 empty; row assembly must still set rowPtr correctly.
+	m := NewCSR(4, 4, []Triplet{{Row: 1, Col: 3, Val: 2}, {Row: 3, Col: 0, Val: 4}})
+	x := []float64{1, 1, 1, 1}
+	y := m.MulVec(x)
+	want := []float64{0, 2, 0, 4}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestCSRMatchesDenseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 2 + rng.IntN(10)
+		d := randomMatrix(rng, n, n, 2)
+		var ts []Triplet
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					d.Set(i, j, 0)
+					continue
+				}
+				ts = append(ts, Triplet{Row: i, Col: j, Val: d.At(i, j)})
+			}
+		}
+		s := NewCSR(n, n, ts)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		ys, yd := s.MulVec(x), d.MulVec(x)
+		for i := range ys {
+			if math.Abs(ys[i]-yd[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// mm1Generator builds the truncated M/M/1 generator with arrival rate lam,
+// service rate 1, and queue capacity cap, returned transposed (CSC of Q).
+func mm1Generator(lam float64, cap int) *CSR {
+	var ts []Triplet
+	n := cap + 1
+	for i := 0; i < n; i++ {
+		var out float64
+		if i < cap {
+			ts = append(ts, Triplet{Row: i + 1, Col: i, Val: lam}) // transposed
+			out += lam
+		}
+		if i > 0 {
+			ts = append(ts, Triplet{Row: i - 1, Col: i, Val: 1})
+			out++
+		}
+		ts = append(ts, Triplet{Row: i, Col: i, Val: -out})
+	}
+	return NewCSR(n, n, ts)
+}
+
+func TestStationaryGSMM1(t *testing.T) {
+	const lam = 0.6
+	const cap = 60
+	qt := mm1Generator(lam, cap)
+	pi, err := StationaryGS(qt, 1e-13, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated M/M/1: π_i ∝ lamⁱ.
+	norm := (1 - math.Pow(lam, cap+1)) / (1 - lam)
+	for i := 0; i <= cap; i++ {
+		want := math.Pow(lam, float64(i)) / norm
+		if math.Abs(pi[i]-want) > 1e-9 {
+			t.Fatalf("π[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+}
+
+func TestStationaryGSTwoState(t *testing.T) {
+	// Two-state chain: rates a=2 (0→1), b=3 (1→0); π = (b, a)/(a+b).
+	qt := NewCSR(2, 2, []Triplet{
+		{Row: 0, Col: 0, Val: -2}, {Row: 1, Col: 0, Val: 2},
+		{Row: 0, Col: 1, Val: 3}, {Row: 1, Col: 1, Val: -3},
+	})
+	pi, err := StationaryGS(qt, 1e-14, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.6) > 1e-10 || math.Abs(pi[1]-0.4) > 1e-10 {
+		t.Errorf("π = %v, want [0.6 0.4]", pi)
+	}
+}
+
+func TestStationaryGSRejectsMalformed(t *testing.T) {
+	// State 1 has a zero diagonal (absorbing): must error, not hang.
+	qt := NewCSR(2, 2, []Triplet{
+		{Row: 0, Col: 0, Val: -1}, {Row: 1, Col: 0, Val: 1},
+	})
+	if _, err := StationaryGS(qt, 1e-10, 100); err == nil {
+		t.Error("StationaryGS accepted a generator with an absorbing state")
+	}
+}

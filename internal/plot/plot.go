@@ -1,0 +1,187 @@
+// Package plot renders the reproduction figures as ASCII line charts and
+// CSV tables — the stdlib-only stand-in for the paper's MATLAB plots. The
+// charts are coarse but preserve exactly what the evaluation argues about:
+// curve ordering, crossovers, and blow-up points.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a collection of curves over a shared axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int     // plot columns (default 72)
+	Height int     // plot rows (default 20)
+	YMax   float64 // optional clip, mirroring the paper's axis limits
+	Series []Series
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if c.YMax > 0 && ymax > c.YMax {
+		ymax = c.YMax
+	}
+	if !(xmax > xmin) || !(ymax > ymin) {
+		return fmt.Errorf("plot: degenerate axes ([%g,%g]×[%g,%g])", xmin, xmax, ymin, ymax)
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if y > ymax {
+				y = ymax // clip like the paper's fixed axes
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mk
+			}
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		yv := ymax - float64(i)/float64(height-1)*(ymax-ymin)
+		if _, err := fmt.Fprintf(w, "%8.2f |%s|\n", yv, row); err != nil {
+			return err
+		}
+	}
+	axis := strings.Repeat("-", width)
+	if _, err := fmt.Fprintf(w, "         +%s+\n", axis); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "          %-*.3g%*.3g\n", width/2, xmin, width-width/2, xmax); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "          x: %s    y: %s\n", c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	legend := make([]string, 0, len(c.Series))
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "          legend: %s\n", strings.Join(legend, "   "))
+	return err
+}
+
+// WriteCSV emits the chart's data as CSV: one x column, one column per
+// series, rows joined on exact x values (missing points left empty).
+func (c *Chart) WriteCSV(w io.Writer) error {
+	xs := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	header := make([]string, 0, len(c.Series)+1)
+	header = append(header, "x")
+	for _, s := range c.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range c.Series {
+			cell := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = fmt.Sprintf("%.6g", s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders aligned columns with a header, for the experiment logs.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

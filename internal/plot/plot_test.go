@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "test chart",
+		XLabel: "utilization",
+		YLabel: "delay",
+		Series: []Series{
+			{Name: "lower", X: []float64{0.1, 0.5, 0.9}, Y: []float64{1.0, 1.5, 3.0}},
+			{Name: "upper", X: []float64{0.1, 0.5, 0.9}, Y: []float64{1.2, 2.0, 4.5}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test chart", "legend:", "* lower", "o upper", "x: utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart body has no data markers")
+	}
+}
+
+func TestRenderClipsAtYMax(t *testing.T) {
+	c := sampleChart()
+	c.YMax = 2
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The top axis label must be the clip value, not the data max 4.5.
+	if !strings.Contains(buf.String(), "2.00 |") {
+		t.Errorf("clip at YMax=2 not applied:\n%s", buf.String())
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{0, 1, 2},
+			Y:    []float64{1, math.Inf(1), 2},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Error("degenerate single-point chart rendered without error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,lower,upper" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "0.1,1,1.2") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVMissingPoints(t *testing.T) {
+	c := &Chart{Series: []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "b", X: []float64{2}, Y: []float64{99}},
+	}}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[1] != "1,10," {
+		t.Errorf("row with missing cell = %q, want \"1,10,\"", lines[1])
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"col", "value"}, [][]string{{"a", "1"}, {"long-name", "2.5"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "col") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "long-name  2.5") {
+		t.Errorf("row = %q", lines[2])
+	}
+}

@@ -1,0 +1,240 @@
+package qbd
+
+import (
+	"fmt"
+	"math"
+
+	"finitelb/internal/mat"
+	"finitelb/internal/sqd"
+)
+
+// Solution is the stationary solution of a bound model.
+type Solution struct {
+	Blocks *Blocks
+
+	PiBoundary []float64 // stationary mass of the boundary states
+	Pi0, Pi1   []float64 // stationary mass of blocks B0 and B1
+	R          *mat.Dense
+	// ScalarRatio is ρᴺ when the improved lower-bound path of Theorem 3
+	// replaced the rate matrix by a scalar multiple of the identity, and 0
+	// otherwise.
+	ScalarRatio float64
+
+	LRIterations int     // logarithmic-reduction iterations used (0 for Theorem 3)
+	DriftUp      float64 // πA0e
+	DriftDown    float64 // πA2e
+
+	MeanJobs    float64 // E[#m], including any phantom upper-bound work
+	MeanWaiting float64 // E[Σ max(m_i−1, 0)]
+	MeanWait    float64 // E[waiting time] = MeanWaiting/(λN)
+	MeanDelay   float64 // E[sojourn time] = MeanWait + 1
+}
+
+// Options tunes the matrix-geometric solve.
+type Options struct {
+	// Tol is the logarithmic-reduction convergence tolerance on the
+	// row-stochasticity of G. Default 1e-12.
+	Tol float64
+	// ImprovedLB replaces the rate matrix by ρᴺ·I (Theorem 3). Only valid
+	// for the lower-bound model; Solve rejects it otherwise.
+	ImprovedLB bool
+}
+
+// Solve computes the stationary distribution and delay metrics of a bound
+// model via Theorem 1 (or Theorem 3 when opts.ImprovedLB is set).
+func Solve(model BoundModel, opts Options) (*Solution, error) {
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-12
+	}
+	if opts.ImprovedLB {
+		if _, ok := model.(*sqd.LowerBound); !ok {
+			return nil, fmt.Errorf("qbd: ImprovedLB (Theorem 3) applies only to the lower-bound model, got %T", model)
+		}
+	}
+	b, err := NewBlocks(model)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Blocks: b}
+
+	sol.DriftUp, sol.DriftDown, err = Drift(b.A0, b.A1, b.A2)
+	if err != nil {
+		return nil, err
+	}
+	if sol.DriftUp >= sol.DriftDown {
+		return nil, fmt.Errorf("%w: πA0e = %.6g ≥ πA2e = %.6g (N=%d d=%d ρ=%v T=%d)",
+			ErrUnstable, sol.DriftUp, sol.DriftDown, b.P.N, b.P.D, b.P.Rho, b.P.T)
+	}
+
+	m := b.BlockSize()
+	var rEff *mat.Dense // the matrix standing in for R in Eq. (13)/(14)
+	if opts.ImprovedLB {
+		sol.ScalarRatio = math.Pow(b.P.Rho, float64(b.P.N))
+		rEff = mat.Identity(m).Scale(sol.ScalarRatio)
+	} else {
+		g, iters, err := LogReduction(b.A0, b.A1, b.A2, opts.Tol)
+		if err != nil {
+			return nil, err
+		}
+		sol.LRIterations = iters
+		sol.R, err = RateMatrix(b.A0, b.A1, b.A2, g)
+		if err != nil {
+			return nil, err
+		}
+		rEff = sol.R
+	}
+
+	if err := sol.solveBoundary(rEff); err != nil {
+		return nil, err
+	}
+	if err := sol.metrics(rEff); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// solveBoundary assembles and solves the finite system of Eq. (13): the
+// unknown row vector x = (π_bnd, π0, π1) against the block matrix
+//
+//	⎡ R00  R01   0        ⎤
+//	⎢ R10  A1    A0       ⎥
+//	⎣ 0    A2    A1+R·A2  ⎦
+//
+// whose balance equations have rank deficiency 1; one equation is replaced
+// by the matrix-geometric normalization
+// π_bnd·e + π0·e + π1·(I−R)⁻¹·e = 1.
+func (s *Solution) solveBoundary(r *mat.Dense) error {
+	b := s.Blocks
+	nb := b.Boundary.Len()
+	m := b.BlockSize()
+	size := nb + 2*m
+
+	sys := mat.NewDense(size, size)
+	copyBlock := func(dst *mat.Dense, src *mat.Dense, ro, co int) {
+		for i := 0; i < src.Rows(); i++ {
+			for j := 0; j < src.Cols(); j++ {
+				dst.Set(ro+i, co+j, src.At(i, j))
+			}
+		}
+	}
+	copyBlock(sys, b.R00, 0, 0)
+	copyBlock(sys, b.R01, 0, nb)
+	copyBlock(sys, b.R10, nb, 0)
+	copyBlock(sys, b.A1, nb, nb)
+	copyBlock(sys, b.A0, nb, nb+m)
+	copyBlock(sys, b.A2, nb+m, nb)
+	copyBlock(sys, b.A1.Add(r.Mul(b.A2)), nb+m, nb+m)
+
+	// Normalization weights: 1 for boundary and B0 states, (I−R)⁻¹e for B1.
+	ones := make([]float64, m)
+	for i := range ones {
+		ones[i] = 1
+	}
+	tailWeights, err := mat.GeometricInv(r)
+	if err != nil {
+		return fmt.Errorf("qbd: (I−R) singular — spectral radius ≥ 1: %w", err)
+	}
+	w := make([]float64, size)
+	for i := 0; i < nb+m; i++ {
+		w[i] = 1
+	}
+	tw := tailWeights.MulVec(ones)
+	copy(w[nb+m:], tw)
+
+	// Replace the first balance equation (column 0) by the normalization.
+	for i := 0; i < size; i++ {
+		sys.Set(i, 0, w[i])
+	}
+	rhs := make([]float64, size)
+	rhs[0] = 1
+	x, err := mat.SolveLeft(sys, rhs)
+	if err != nil {
+		return fmt.Errorf("qbd: boundary system solve: %w", err)
+	}
+	for _, v := range x {
+		if v < -1e-9 {
+			return fmt.Errorf("qbd: boundary solve produced negative probability %.3g", v)
+		}
+	}
+	s.PiBoundary = x[:nb]
+	s.Pi0 = x[nb : nb+m]
+	s.Pi1 = x[nb+m:]
+	return nil
+}
+
+// metrics computes the delay metrics from the stationary solution using
+// geometric level sums: in non-boundary blocks every server is busy, so a
+// state of block q ≥ 1 holds exactly (q−1)·N more jobs (and waiting jobs)
+// than its pattern-aligned representative in B1.
+func (s *Solution) metrics(r *mat.Dense) error {
+	b := s.Blocks
+	n := float64(b.P.N)
+
+	for i, p := range s.PiBoundary {
+		st := b.Boundary.At(i)
+		s.MeanJobs += p * float64(st.Total())
+		s.MeanWaiting += p * float64(st.WaitingJobs())
+	}
+	for i, p := range s.Pi0 {
+		st := b.B0[i]
+		s.MeanJobs += p * float64(st.Total())
+		s.MeanWaiting += p * float64(st.WaitingJobs())
+	}
+
+	jobs1 := make([]float64, len(s.Pi1))
+	wait1 := make([]float64, len(s.Pi1))
+	for i, st := range b.B1 {
+		jobs1[i] = float64(st.Total())
+		wait1[i] = float64(st.WaitingJobs())
+	}
+	// Σ_{q≥1} π1·R^{q−1}·v  and  Σ_{q≥1} (q−1)·π1·R^{q−1}·(N·e).
+	sum1, err := mat.GeometricVecSum(s.Pi1, r)
+	if err != nil {
+		return err
+	}
+	weighted, err := mat.GeometricWeightedVecSum(s.Pi1, r)
+	if err != nil {
+		return err
+	}
+	s.MeanJobs += mat.Dot(sum1, jobs1) + n*mat.VecSum(weighted)
+	s.MeanWaiting += mat.Dot(sum1, wait1) + n*mat.VecSum(weighted)
+
+	lamN := b.P.TotalArrivalRate()
+	s.MeanWait = s.MeanWaiting / lamN
+	s.MeanDelay = s.MeanWait + 1
+	return nil
+}
+
+// TotalMass returns the total stationary probability implied by the
+// solution (should be 1); exposed for validation.
+func (s *Solution) TotalMass(r *mat.Dense) (float64, error) {
+	if r == nil {
+		if s.R != nil {
+			r = s.R
+		} else {
+			r = mat.Identity(len(s.Pi1)).Scale(s.ScalarRatio)
+		}
+	}
+	tail, err := mat.GeometricVecSum(s.Pi1, r)
+	if err != nil {
+		return 0, err
+	}
+	return mat.VecSum(s.PiBoundary) + mat.VecSum(s.Pi0) + mat.VecSum(tail), nil
+}
+
+// LevelMass returns π_q·e for q ≥ 1 using the geometric recursion; exposed
+// for the Theorem 3 ρᴺ-decay validation.
+func (s *Solution) LevelMass(q int) float64 {
+	if q < 1 {
+		panic("qbd: LevelMass requires q ≥ 1")
+	}
+	v := append([]float64(nil), s.Pi1...)
+	for i := 1; i < q; i++ {
+		if s.R != nil {
+			v = s.R.VecMul(v)
+		} else {
+			mat.VecScale(v, s.ScalarRatio)
+		}
+	}
+	return mat.VecSum(v)
+}

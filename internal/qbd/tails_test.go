@@ -1,0 +1,143 @@
+package qbd
+
+import (
+	"math"
+	"testing"
+
+	"finitelb/internal/markov"
+	"finitelb/internal/statespace"
+)
+
+// TestServerTailMM1: with N=1 the lower-bound model is M/M/1, whose
+// occupancy tail is exactly ρᵏ.
+func TestServerTailMM1(t *testing.T) {
+	const rho = 0.7
+	sol, err := Solve(lbModel(1, 1, rho, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 12; k++ {
+		got, err := sol.ServerTail(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(rho, float64(k))
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("P(≥%d) = %v, want ρᵏ = %v", k, got, want)
+		}
+	}
+}
+
+// TestServerTailMatchesBruteForce: the geometric-tail accounting in
+// ServerTail must agree with a direct stationary solve of the same model.
+func TestServerTailMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		model BoundModel
+		opts  Options
+	}{
+		{"lower", lbModel(3, 2, 0.8, 2), Options{}},
+		{"lower improved", lbModel(3, 2, 0.8, 2), Options{ImprovedLB: true}},
+		{"upper", ubModel(3, 2, 0.6, 2), Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := Solve(tc.model, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := tc.model.Bound()
+			states := statespace.EnumTruncated(p.N, p.T, 200)
+			ix := statespace.NewIndex(states)
+			brute, err := markov.SolveTruncated(tc.model, states, 1e-13, 400000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k <= 8; k++ {
+				var want float64
+				for i, prob := range brute.Pi {
+					st := ix.At(i)
+					c := 0
+					for _, v := range st {
+						if v >= k {
+							c++
+						}
+					}
+					want += prob * float64(c) / float64(p.N)
+				}
+				got, err := sol.ServerTail(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-want) > 1e-7 {
+					t.Errorf("k=%d: ServerTail = %v, brute force = %v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestServerTailLittleConsistency: Σ_{k≥1} ServerTail(k) must equal the
+// solution's mean jobs per server.
+func TestServerTailLittleConsistency(t *testing.T) {
+	sol, err := Solve(lbModel(4, 2, 0.85, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs float64
+	for k := 1; k <= 400; k++ {
+		tail, err := sol.ServerTail(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs += tail
+		if tail < 1e-14 {
+			break
+		}
+	}
+	want := sol.MeanJobs / 4
+	if math.Abs(jobs-want) > 1e-8*want {
+		t.Errorf("Σ tails = %v, MeanJobs/N = %v", jobs, want)
+	}
+}
+
+// TestServerTailOrdering: pointwise LB ≤ exact ≤ UB does not follow from
+// the paper's precedence argument for every functional, but the *monotone
+// partial-sum* functionals it does cover make the aggregate occupancy a
+// sanity metric: the UB chain must be stochastically no lighter than the
+// LB chain level by level.
+func TestServerTailOrdering(t *testing.T) {
+	lb, err := Solve(lbModel(3, 2, 0.7, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := Solve(ubModel(3, 2, 0.7, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 10; k++ {
+		lo, err := lb.ServerTail(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := ub.ServerTail(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > hi+1e-9 {
+			t.Errorf("k=%d: LB tail %v above UB tail %v", k, lo, hi)
+		}
+	}
+}
+
+func TestServerTailEdges(t *testing.T) {
+	sol, err := Solve(lbModel(2, 2, 0.5, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sol.ServerTail(0); err != nil || got != 1 {
+		t.Errorf("ServerTail(0) = %v, %v; want 1, nil", got, err)
+	}
+	if _, err := sol.ServerTail(-1); err == nil {
+		t.Error("ServerTail(-1) accepted")
+	}
+}

@@ -1,0 +1,241 @@
+// Package sim provides the simulation side of the paper's evaluation: a
+// discrete-event simulator of the SQ(d) dispatcher measuring per-job
+// sojourn times (the baseline of Figures 9 and 10), and a CTMC trajectory
+// simulator for arbitrary sqd models used to cross-validate the
+// matrix-geometric solutions of the bound models.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"finitelb/internal/sqd"
+	"finitelb/internal/stats"
+)
+
+// Options configures a discrete-event run.
+type Options struct {
+	Jobs   int64  // measured jobs (default 1e6)
+	Warmup int64  // discarded leading departures (default Jobs/10)
+	Seed   uint64 // RNG seed (default 1)
+	// BatchSize for batch-means confidence intervals; default Jobs/200.
+	BatchSize int64
+}
+
+func (o *Options) setDefaults() {
+	if o.Jobs <= 0 {
+		o.Jobs = 1_000_000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = o.Jobs / 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = o.Jobs / 200
+		if o.BatchSize < 1 {
+			o.BatchSize = 1
+		}
+	}
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	MeanDelay float64 // mean sojourn time across measured jobs
+	MeanWait  float64 // mean waiting time (sojourn − 1, the unit mean service)
+	HalfWidth float64 // 95% CI half-width on MeanDelay (batch means)
+	Jobs      int64   // measured jobs
+	MaxQueue  int     // largest queue length observed
+
+	// Sojourn quantiles (histogram-estimated at 0.02 resolution).
+	P50, P95, P99 float64
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("delay %.4f ± %.4f (%d jobs, max queue %d)", r.MeanDelay, r.HalfWidth, r.Jobs, r.MaxQueue)
+}
+
+// server is one FIFO queue: arrival stamps of queued jobs plus the
+// absolute completion time of the in-service job.
+type server struct {
+	arrivals   []float64 // arrival times; arrivals[head] is in service
+	head       int
+	completion float64 // +Inf when idle
+}
+
+func (s *server) length() int { return len(s.arrivals) - s.head }
+
+func (s *server) push(t float64) { s.arrivals = append(s.arrivals, t) }
+
+func (s *server) pop() float64 {
+	v := s.arrivals[s.head]
+	s.head++
+	// Compact occasionally so memory stays bounded on long runs.
+	if s.head > 64 && s.head*2 >= len(s.arrivals) {
+		s.arrivals = append(s.arrivals[:0], s.arrivals[s.head:]...)
+		s.head = 0
+	}
+	return v
+}
+
+// tracker finds the earliest pending service completion.
+type tracker interface {
+	update(id int, t float64)
+	min() (float64, int)
+}
+
+// linearTracker scans all servers; optimal for the small N of Figure 10.
+type linearTracker struct{ servers []server }
+
+func (l *linearTracker) update(int, float64) {}
+
+func (l *linearTracker) min() (float64, int) {
+	best, id := math.Inf(1), -1
+	for i := range l.servers {
+		if l.servers[i].completion < best {
+			best, id = l.servers[i].completion, i
+		}
+	}
+	return best, id
+}
+
+// heapTracker is an indexed min-heap; preferable for the N = 250 sweeps of
+// Figure 9.
+type heapTracker struct {
+	times []float64
+	ids   []int
+	pos   []int // server id → heap slot
+}
+
+func newHeapTracker(n int) *heapTracker {
+	h := &heapTracker{
+		times: make([]float64, n),
+		ids:   make([]int, n),
+		pos:   make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		h.times[i] = math.Inf(1)
+		h.ids[i] = i
+		h.pos[i] = i
+	}
+	return h
+}
+
+func (h *heapTracker) Len() int           { return len(h.times) }
+func (h *heapTracker) Less(i, j int) bool { return h.times[i] < h.times[j] }
+func (h *heapTracker) Swap(i, j int) {
+	h.times[i], h.times[j] = h.times[j], h.times[i]
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]], h.pos[h.ids[j]] = i, j
+}
+func (h *heapTracker) Push(any) { panic("sim: fixed-size heap") }
+func (h *heapTracker) Pop() any { panic("sim: fixed-size heap") }
+
+func (h *heapTracker) update(id int, t float64) {
+	i := h.pos[id]
+	h.times[i] = t
+	heap.Fix(h, i)
+}
+
+func (h *heapTracker) min() (float64, int) { return h.times[0], h.ids[0] }
+
+// Run simulates the SQ(d) dispatcher: Poisson arrivals of rate ρN hit a
+// central dispatcher that samples d distinct servers uniformly (without
+// replacement) and queues the job at the sampled server with the fewest
+// jobs, ties broken uniformly; servers serve FIFO with exponential
+// unit-mean times. The first Warmup departures are discarded, then the
+// sojourn times of Jobs departures are averaged.
+func Run(p sqd.Params, opts Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts.setDefaults()
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x5bd1e995))
+
+	servers := make([]server, p.N)
+	for i := range servers {
+		servers[i].completion = math.Inf(1)
+	}
+	var trk tracker
+	if p.N <= 16 {
+		trk = &linearTracker{servers: servers}
+	} else {
+		trk = newHeapTracker(p.N)
+	}
+	perm := make([]int, p.N)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	lamN := p.TotalArrivalRate()
+	nextArrival := rng.ExpFloat64() / lamN
+	batch := stats.NewBatchMeans(opts.BatchSize)
+	hist := stats.NewHistogram(0.02, 25_000) // covers sojourns up to 500 service times
+	var sojourns stats.Welford
+	var res Result
+	var departed int64
+
+	for sojourns.N() < opts.Jobs {
+		minC, minI := trk.min()
+		if nextArrival <= minC {
+			now := nextArrival
+			nextArrival = now + rng.ExpFloat64()/lamN
+			// Sample d distinct servers by partial Fisher–Yates, keeping
+			// the least-loaded with uniform tie breaking.
+			best, bestLen, ties := -1, math.MaxInt, 0
+			for k := 0; k < p.D; k++ {
+				j := k + rng.IntN(p.N-k)
+				perm[k], perm[j] = perm[j], perm[k]
+				s := perm[k]
+				switch l := servers[s].length(); {
+				case l < bestLen:
+					best, bestLen, ties = s, l, 1
+				case l == bestLen:
+					ties++
+					if rng.IntN(ties) == 0 {
+						best = s
+					}
+				}
+			}
+			sv := &servers[best]
+			sv.push(now)
+			if sv.length() == 1 {
+				sv.completion = now + rng.ExpFloat64()
+				trk.update(best, sv.completion)
+			}
+			if sv.length() > res.MaxQueue {
+				res.MaxQueue = sv.length()
+			}
+			continue
+		}
+		sv := &servers[minI]
+		now := sv.completion
+		arrivedAt := sv.pop()
+		if sv.length() > 0 {
+			sv.completion = now + rng.ExpFloat64()
+		} else {
+			sv.completion = math.Inf(1)
+		}
+		trk.update(minI, sv.completion)
+		departed++
+		if departed > opts.Warmup {
+			sojourn := now - arrivedAt
+			batch.Add(sojourn)
+			sojourns.Add(sojourn)
+			hist.Add(sojourn)
+		}
+	}
+
+	res.MeanDelay = sojourns.Mean()
+	res.MeanWait = sojourns.Mean() - 1
+	res.HalfWidth = batch.HalfWidth()
+	res.Jobs = sojourns.N()
+	res.P50 = hist.Quantile(0.50)
+	res.P95 = hist.Quantile(0.95)
+	res.P99 = hist.Quantile(0.99)
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"finitelb/internal/sqd"
+	"finitelb/internal/statespace"
+)
+
+func TestRunMM1(t *testing.T) {
+	// d=1, N=1: M/M/1 with known mean sojourn 1/(1−ρ).
+	for _, rho := range []float64{0.5, 0.8} {
+		res, err := Run(sqd.Params{N: 1, D: 1, Rho: rho}, Options{Jobs: 400_000, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (1 - rho)
+		if math.Abs(res.MeanDelay-want) > 5*res.HalfWidth+0.02*want {
+			t.Errorf("ρ=%v: delay %v, want %v (CI ±%v)", rho, res.MeanDelay, want, res.HalfWidth)
+		}
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if _, err := Run(sqd.Params{N: 2, D: 3, Rho: 0.5}, Options{Jobs: 10}); err == nil {
+		t.Error("Run accepted d > N")
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	p := sqd.Params{N: 4, D: 2, Rho: 0.7}
+	a, err := Run(p, Options{Jobs: 50_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Options{Jobs: 50_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanDelay != b.MeanDelay {
+		t.Errorf("same seed, different results: %v vs %v", a.MeanDelay, b.MeanDelay)
+	}
+	c, err := Run(p, Options{Jobs: 50_000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanDelay == c.MeanDelay {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+func TestRunSmallVsHeapTrackerAgree(t *testing.T) {
+	// The two trackers must produce statistically identical systems; run
+	// the same physical config on both sides of the N≤16 crossover by
+	// comparing against the d=1 analytic value where N plays no role.
+	const rho = 0.6
+	small, err := Run(sqd.Params{N: 8, D: 1, Rho: rho}, Options{Jobs: 300_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(sqd.Params{N: 32, D: 1, Rho: rho}, Options{Jobs: 300_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 - rho)
+	for name, r := range map[string]Result{"linear": small, "heap": big} {
+		if math.Abs(r.MeanDelay-want) > 5*r.HalfWidth+0.02*want {
+			t.Errorf("%s tracker: delay %v, want %v", name, r.MeanDelay, want)
+		}
+	}
+}
+
+// TestRunMatchesExactSolve: the discrete-event simulator and the CTMC
+// stationary solve describe the same system.
+func TestRunMatchesExactSolve(t *testing.T) {
+	p := sqd.Params{N: 3, D: 2, Rho: 0.75}
+	simRes, err := Run(p, Options{Jobs: 600_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference value from markov.SolveExact computed in its own tests;
+	// recompute here cheaply via the asymptotic-free exact chain is
+	// overkill, so assert against a pre-validated constant instead:
+	// the exact N=3 SQ(2) ρ=0.75 sojourn is ≈ 2.139 (see markov tests).
+	const want = 2.139
+	if math.Abs(simRes.MeanDelay-want) > 5*simRes.HalfWidth+0.03*want {
+		t.Errorf("sim delay %v, want ≈ %v (CI ±%v)", simRes.MeanDelay, want, simRes.HalfWidth)
+	}
+}
+
+func TestRunCTMCExactModel(t *testing.T) {
+	// Trajectory average of the exact model must match the M/M/1 value for
+	// d=1, N=1.
+	p := sqd.Params{N: 1, D: 1, Rho: 0.7}
+	res := RunCTMC(&sqd.Exact{P: p}, statespace.MustState(0), CTMCOptions{Events: 2_000_000, Seed: 11})
+	want := 1 / (1 - 0.7)
+	if math.Abs(res.MeanDelay-want) > 0.05*want {
+		t.Errorf("CTMC delay %v, want %v", res.MeanDelay, want)
+	}
+}
+
+// TestRunCTMCBoundModelsBracket: simulating the bound models' trajectories
+// brackets the exact simulation — the redirects act in the intended
+// directions dynamically, not just in expectation.
+func TestRunCTMCBoundModelsBracket(t *testing.T) {
+	bp := sqd.BoundParams{Params: sqd.Params{N: 3, D: 2, Rho: 0.8}, T: 2}
+	start := statespace.MustState(0, 0, 0)
+	opts := CTMCOptions{Events: 2_000_000, Seed: 13}
+	lb := RunCTMC(&sqd.LowerBound{P: bp}, start, opts)
+	ex := RunCTMC(&sqd.Exact{P: bp.Params}, start, opts)
+	ub := RunCTMC(&sqd.UpperBound{P: bp}, start, opts)
+	slack := 0.03 * ex.MeanDelay
+	if !(lb.MeanDelay <= ex.MeanDelay+slack) {
+		t.Errorf("simulated LB %v above exact %v", lb.MeanDelay, ex.MeanDelay)
+	}
+	if !(ub.MeanDelay >= ex.MeanDelay-slack) {
+		t.Errorf("simulated UB %v below exact %v", ub.MeanDelay, ex.MeanDelay)
+	}
+}

@@ -1,0 +1,156 @@
+package sqd
+
+import (
+	"fmt"
+
+	"finitelb/internal/statespace"
+)
+
+// BoundParams extends Params with the truncation threshold T ≥ 1 of the
+// space S = {m : m1 − mN ≤ T} on which both bound models live.
+type BoundParams struct {
+	Params
+	T int
+}
+
+// Validate reports whether the bound-model parameters are well posed.
+func (p BoundParams) Validate() error {
+	if err := p.Params.Validate(); err != nil {
+		return err
+	}
+	if p.T < 1 {
+		return fmt.Errorf("sqd: threshold T = %d, need T ≥ 1", p.T)
+	}
+	return nil
+}
+
+// InSpace reports whether m belongs to the truncated space S.
+func (p BoundParams) InSpace(m statespace.State) bool { return m.Diff() <= p.T }
+
+// LowerBound is the paper's lower-bound model: the generalization of
+// threshold jockeying to SQ(d). Transitions of the exact model that would
+// leave S are redirected to *more preferable* states (smaller in the
+// precedence order of Eq. (5)):
+//
+//   - an arrival that would push the top group past level mN+T instead
+//     joins a shortest queue (target m + e_N ⪯ m + e_i), exactly as if the
+//     job had joined the long queue and one job had immediately jockeyed
+//     from it to a shortest queue;
+//   - a departure from the min group when m1 − mN = T is redirected to the
+//     longest group (target m − e_1 ⪯ m − e_N): the real departure happens
+//     at the short queue and a job jockeys down from the longest queue.
+//
+// The redirected process is stochastically better than SQ(d), so its mean
+// delay lower-bounds the true one, and its transition diagram is regular.
+type LowerBound struct {
+	P BoundParams
+}
+
+// Params implements Model.
+func (l *LowerBound) Params() Params { return l.P.Params }
+
+// Bound returns the full bound parameters including T.
+func (l *LowerBound) Bound() BoundParams { return l.P }
+
+// Transitions implements Model. m must lie in S; every returned target lies
+// in S as well.
+func (l *LowerBound) Transitions(m statespace.State) []Transition {
+	if !l.P.InSpace(m) {
+		panic(fmt.Sprintf("sqd: lower-bound model queried outside S: %v with T=%d", m, l.P.T))
+	}
+	groups := m.Groups()
+	minG := groups[len(groups)-1]
+	topG := groups[0]
+	ts := make([]Transition, 0, 2*len(groups))
+	for _, g := range groups {
+		if r := arrivalRate(l.P.Params, g); r > 0 {
+			to := m.AfterArrival(g)
+			if !l.P.InSpace(to) {
+				to = m.AfterArrival(minG) // jockey down to a shortest queue
+			}
+			ts = append(ts, Transition{To: to, Rate: r})
+		}
+		if g.Level > 0 {
+			to := m.AfterDeparture(g)
+			if !l.P.InSpace(to) {
+				to = m.AfterDeparture(topG) // jockey from the longest queue
+			}
+			ts = append(ts, Transition{To: to, Rate: float64(g.Size())})
+		}
+	}
+	return Merged(ts)
+}
+
+var _ Model = (*LowerBound)(nil)
+
+// UpperBound is the paper's upper-bound model: transitions leaving S are
+// redirected to *less preferable* states (larger in the precedence order):
+//
+//   - a departure from the min group when m1 − mN = T is cancelled — the
+//     service is wasted and the state does not change (m ⪰ m − e_N). This
+//     is the rule that reduces effective capacity, so the plain stability
+//     condition ρ < 1 no longer suffices and the QBD drift condition
+//     πA0e < πA2e must be checked (Section IV-A);
+//   - an arrival into the top group at the cap level mN+T proceeds anyway
+//     and one phantom job is added to every queue of the min group,
+//     restoring m1 − mN ≤ T from above. The target m + e_i + Σ_min e_k
+//     dominates m + e_i componentwise in partial sums, hence is ⪰. No
+//     state of S with #m+1 jobs dominates m + e_i (its first partial sum
+//     already exceeds what any state of S can afford at that level), so a
+//     valid redirect necessarily injects extra work; this is the minimal
+//     such injection. See DESIGN.md ("Reconstruction note").
+type UpperBound struct {
+	P BoundParams
+}
+
+// Params implements Model.
+func (u *UpperBound) Params() Params { return u.P.Params }
+
+// Bound returns the full bound parameters including T.
+func (u *UpperBound) Bound() BoundParams { return u.P }
+
+// Transitions implements Model. m must lie in S; every returned target lies
+// in S. Cancelled departures are simply omitted (a CTMC self-loop is a
+// no-op), which is how the wasted service manifests in the generator.
+func (u *UpperBound) Transitions(m statespace.State) []Transition {
+	if !u.P.InSpace(m) {
+		panic(fmt.Sprintf("sqd: upper-bound model queried outside S: %v with T=%d", m, u.P.T))
+	}
+	groups := m.Groups()
+	minG := groups[len(groups)-1]
+	ts := make([]Transition, 0, 2*len(groups))
+	for _, g := range groups {
+		if r := arrivalRate(u.P.Params, g); r > 0 {
+			to := m.AfterArrival(g)
+			if !u.P.InSpace(to) {
+				to = u.arrivalWithPhantoms(m, g, minG)
+			}
+			ts = append(ts, Transition{To: to, Rate: r})
+		}
+		if g.Level > 0 {
+			to := m.AfterDeparture(g)
+			if !u.P.InSpace(to) {
+				continue // wasted service: the job is put back, state unchanged
+			}
+			ts = append(ts, Transition{To: to, Rate: float64(g.Size())})
+		}
+	}
+	return Merged(ts)
+}
+
+// arrivalWithPhantoms builds the upper-bound redirect target for an arrival
+// into the capped top group g: the job joins g.Start and every queue of the
+// min group receives one phantom job.
+func (u *UpperBound) arrivalWithPhantoms(m statespace.State, g, minG statespace.Group) statespace.State {
+	to := m.Clone()
+	to[g.Start]++
+	for k := minG.Start; k <= minG.End; k++ {
+		to[k]++
+	}
+	if !u.P.InSpace(to) {
+		panic(fmt.Sprintf("sqd: phantom redirect of %v left S: %v", m, to))
+	}
+	return to
+}
+
+var _ Model = (*UpperBound)(nil)

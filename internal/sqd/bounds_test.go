@@ -1,0 +1,260 @@
+package sqd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"finitelb/internal/statespace"
+)
+
+func TestBoundParamsValidate(t *testing.T) {
+	ok := BoundParams{Params: Params{N: 3, D: 2, Rho: 0.5}, T: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := BoundParams{Params: Params{N: 3, D: 2, Rho: 0.5}, T: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("T = 0 accepted")
+	}
+}
+
+// boundModels returns an LB/UB pair over a random configuration.
+func boundModels(rng *rand.Rand) (*LowerBound, *UpperBound, BoundParams) {
+	n := 2 + rng.IntN(5)
+	p := BoundParams{
+		Params: Params{N: n, D: 1 + rng.IntN(n), Rho: 0.05 + 0.9*rng.Float64()},
+		T:      1 + rng.IntN(3),
+	}
+	return &LowerBound{P: p}, &UpperBound{P: p}, p
+}
+
+// TestBoundTargetsStayInS: both modified chains are closed on S.
+func TestBoundTargetsStayInS(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		lb, ub, p := boundModels(rng)
+		m := randomTruncState(rng, p.N, p.T)
+		for _, tr := range lb.Transitions(m) {
+			if !p.InSpace(tr.To) {
+				return false
+			}
+		}
+		for _, tr := range ub.Transitions(m) {
+			if !p.InSpace(tr.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLowerBoundRedirectsArePreferable: every LB transition target is ⪯ the
+// exact model's target it replaces, transition by transition (Section III).
+func TestLowerBoundRedirectsArePreferable(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		lb, _, p := boundModels(rng)
+		exact := &Exact{P: p.Params}
+		m := randomTruncState(rng, p.N, p.T)
+		// Pair unmerged transitions positionally: both models iterate the
+		// same groups in the same order.
+		et := exact.Transitions(m)
+		lt := unmergedLB(lb, m)
+		if len(et) != len(lt) {
+			return false
+		}
+		for i := range et {
+			if math.Abs(et[i].Rate-lt[i].Rate) > 1e-12 {
+				return false
+			}
+			if !statespace.Leq(lt[i].To, et[i].To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// unmergedLB regenerates the lower-bound transitions without merging so
+// they can be compared positionally to the exact model's.
+func unmergedLB(l *LowerBound, m statespace.State) []Transition {
+	groups := m.Groups()
+	minG := groups[len(groups)-1]
+	topG := groups[0]
+	var ts []Transition
+	for _, g := range groups {
+		if r := arrivalRate(l.P.Params, g); r > 0 {
+			to := m.AfterArrival(g)
+			if !l.P.InSpace(to) {
+				to = m.AfterArrival(minG)
+			}
+			ts = append(ts, Transition{To: to, Rate: r})
+		}
+		if g.Level > 0 {
+			to := m.AfterDeparture(g)
+			if !l.P.InSpace(to) {
+				to = m.AfterDeparture(topG)
+			}
+			ts = append(ts, Transition{To: to, Rate: float64(g.Size())})
+		}
+	}
+	return ts
+}
+
+// TestUpperBoundRedirectsAreLessPreferable: every UB target is ⪰ the exact
+// target it replaces; cancelled departures compare m ⪰ m − e.
+func TestUpperBoundRedirectsAreLessPreferable(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 43))
+		_, ub, p := boundModels(rng)
+		m := randomTruncState(rng, p.N, p.T)
+		groups := m.Groups()
+		minG := groups[len(groups)-1]
+		for _, g := range groups {
+			if arrivalRate(p.Params, g) > 0 {
+				exactTo := m.AfterArrival(g)
+				ubTo := exactTo
+				if !p.InSpace(exactTo) {
+					ubTo = ub.arrivalWithPhantoms(m, g, minG)
+				}
+				if !statespace.Leq(exactTo, ubTo) {
+					return false
+				}
+			}
+			if g.Level > 0 {
+				exactTo := m.AfterDeparture(g)
+				if !p.InSpace(exactTo) {
+					// Cancelled: effective target is m itself.
+					if !statespace.Leq(exactTo, m) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoDominatingSingleArrivalState backs the DESIGN.md reconstruction
+// argument: when an arrival into the capped top group leaves S, no state of
+// S with #m + 1 jobs dominates the true target, so the upper bound must
+// inject phantom work.
+func TestNoDominatingSingleArrivalState(t *testing.T) {
+	const n, tt = 3, 2
+	m := statespace.MustState(2, 2, 0)
+	target := m.AfterArrival(m.GroupOf(0)) // (3,2,0), diff 3 ∉ S
+	if target.Diff() <= tt {
+		t.Fatal("test setup: target unexpectedly in S")
+	}
+	for _, cand := range statespace.StatesWithTotal(n, tt, target.Total()) {
+		if statespace.Leq(target, cand) {
+			t.Errorf("state %v ∈ S dominates %v; reconstruction argument is wrong", cand, target)
+		}
+	}
+}
+
+func TestLowerBoundJockeyExample(t *testing.T) {
+	// SQ(2), N=3, T=2, state (2,2,0), as in the paper's Fig. 7 regime.
+	p := BoundParams{Params: Params{N: 3, D: 2, Rho: 0.5}, T: 2}
+	lb := &LowerBound{P: p}
+	m := statespace.MustState(2, 2, 0)
+	rates := map[string]float64{}
+	for _, tr := range lb.Transitions(m) {
+		rates[tr.To.String()] += tr.Rate
+	}
+	// Arrival sampling both long servers (rate λN·C(2,2)/C(3,2) = 0.5)
+	// would give (3,2,0) ∉ S: jockeyed to (2,2,1). Arrival involving the
+	// short server (rate 1.0) also lands at (2,2,1): total 1.5 = λN.
+	if math.Abs(rates["(2,2,1)"]-1.5) > 1e-12 {
+		t.Errorf("arrival rate to (2,2,1) = %v, want 1.5", rates["(2,2,1)"])
+	}
+	// Departures from the two long servers: (2,1,0) at rate 2. The short
+	// server is idle. No departure may leave S.
+	if math.Abs(rates["(2,1,0)"]-2) > 1e-12 {
+		t.Errorf("departure rate to (2,1,0) = %v, want 2", rates["(2,1,0)"])
+	}
+	if len(rates) != 2 {
+		t.Errorf("unexpected transition set %v", rates)
+	}
+}
+
+func TestLowerBoundJockeyDeparture(t *testing.T) {
+	// (3,2,1) with T=2: departure from the shortest (rate 1) would reach
+	// (3,2,0) with diff 3: jockeyed to a departure from the longest, (2,2,1).
+	p := BoundParams{Params: Params{N: 3, D: 2, Rho: 0.5}, T: 2}
+	lb := &LowerBound{P: p}
+	m := statespace.MustState(3, 2, 1)
+	rates := map[string]float64{}
+	for _, tr := range lb.Transitions(m) {
+		rates[tr.To.String()] += tr.Rate
+	}
+	// Departures: longest (rate 1 → (2,2,1)) + shortest redirected (rate 1
+	// → (2,2,1)) sum to 2; middle (rate 1 → (3,1,1)).
+	if math.Abs(rates["(2,2,1)"]-2) > 1e-12 {
+		t.Errorf("rate to (2,2,1) = %v, want 2 (direct + jockeyed)", rates["(2,2,1)"])
+	}
+	if math.Abs(rates["(3,1,1)"]-1) > 1e-12 {
+		t.Errorf("rate to (3,1,1) = %v, want 1", rates["(3,1,1)"])
+	}
+}
+
+func TestUpperBoundCancelsDeparture(t *testing.T) {
+	// (3,2,1) with T=2: the shortest queue's departure is wasted.
+	p := BoundParams{Params: Params{N: 3, D: 2, Rho: 0.5}, T: 2}
+	ub := &UpperBound{P: p}
+	m := statespace.MustState(3, 2, 1)
+	var totalDeparture float64
+	for _, tr := range ub.Transitions(m) {
+		if tr.To.Total() == m.Total()-1 {
+			totalDeparture += tr.Rate
+		}
+	}
+	// Three busy servers, one service wasted: only rate 2 departs.
+	if math.Abs(totalDeparture-2) > 1e-12 {
+		t.Errorf("departure rate = %v, want 2 (one cancelled)", totalDeparture)
+	}
+}
+
+func TestUpperBoundPhantomArrival(t *testing.T) {
+	// (2,2,0) with T=2, SQ(2): sampling both long servers forces the job
+	// into the capped group plus one phantom at the idle queue: (3,2,1).
+	p := BoundParams{Params: Params{N: 3, D: 2, Rho: 0.5}, T: 2}
+	ub := &UpperBound{P: p}
+	m := statespace.MustState(2, 2, 0)
+	rates := map[string]float64{}
+	for _, tr := range ub.Transitions(m) {
+		rates[tr.To.String()] += tr.Rate
+	}
+	if math.Abs(rates["(3,2,1)"]-0.5) > 1e-12 {
+		t.Errorf("phantom arrival rate to (3,2,1) = %v, want 0.5", rates["(3,2,1)"])
+	}
+	if math.Abs(rates["(2,2,1)"]-1.0) > 1e-12 {
+		t.Errorf("regular arrival rate to (2,2,1) = %v, want 1.0", rates["(2,2,1)"])
+	}
+}
+
+func TestBoundModelsPanicOutsideS(t *testing.T) {
+	p := BoundParams{Params: Params{N: 3, D: 2, Rho: 0.5}, T: 1}
+	m := statespace.MustState(5, 0, 0)
+	for _, model := range []Model{&LowerBound{P: p}, &UpperBound{P: p}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T accepted a state outside S", model)
+				}
+			}()
+			model.Transitions(m)
+		}()
+	}
+}

@@ -1,0 +1,120 @@
+// Package sqd implements the three continuous-time Markov models of
+// Godtschalk & Ciucu (ICDCS 2016): the exact SQ(d) policy of Section II,
+// and the lower- and upper-bound models obtained by redirecting the
+// transitions that would leave the difference-truncated space
+// S = {m : m1 − mN ≤ T}.
+//
+// All models share the sorted-state representation of package statespace
+// and expose their dynamics as rate-labelled transitions, which the markov
+// and qbd packages assemble into generator matrices.
+package sqd
+
+import (
+	"fmt"
+
+	"finitelb/internal/statespace"
+)
+
+// Params identifies an SQ(d) system: N parallel unit-rate servers, d
+// uniformly sampled choices per arrival, and Poisson arrivals of total rate
+// Rho·N, so that Rho is both the per-server utilization and the paper's λ.
+type Params struct {
+	N   int     // number of servers
+	D   int     // choices sampled per arrival (1 ≤ D ≤ N)
+	Rho float64 // per-server utilization λ ∈ (0, 1)
+}
+
+// Validate reports whether the parameters describe a well-posed system.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("sqd: N = %d, need at least one server", p.N)
+	}
+	if p.D < 1 || p.D > p.N {
+		return fmt.Errorf("sqd: d = %d outside [1, N=%d]", p.D, p.N)
+	}
+	if p.Rho <= 0 || p.Rho >= 1 {
+		return fmt.Errorf("sqd: utilization ρ = %v outside (0, 1)", p.Rho)
+	}
+	return nil
+}
+
+// TotalArrivalRate returns λN, the aggregate Poisson arrival rate.
+func (p Params) TotalArrivalRate() float64 { return p.Rho * float64(p.N) }
+
+// Transition is one outgoing CTMC transition.
+type Transition struct {
+	To   statespace.State
+	Rate float64
+}
+
+// Model is a CTMC over sorted queue-length states.
+type Model interface {
+	// Params returns the underlying system parameters.
+	Params() Params
+	// Transitions returns the outgoing transitions of m. Targets may
+	// repeat; callers must sum rates per target (see Merged).
+	Transitions(m statespace.State) []Transition
+}
+
+// Merged sums rates of transitions sharing a target state.
+func Merged(ts []Transition) []Transition {
+	if len(ts) < 2 {
+		return ts
+	}
+	idx := make(map[string]int, len(ts))
+	out := ts[:0]
+	for _, tr := range ts {
+		k := tr.To.Key()
+		if i, ok := idx[k]; ok {
+			out[i].Rate += tr.Rate
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, tr)
+	}
+	return out
+}
+
+// arrivalRate returns the rate at which an arriving job joins the tie group
+// g of state m under SQ(d) (Section II-A): all d sampled servers must lie
+// among the first g.End+1 queues, at least one of them inside the group.
+// With the paper's 1-based group span i..i+j this is
+// λN·(C(i+j, d) − C(i−1, d))/C(N, d).
+func arrivalRate(p Params, g statespace.Group) float64 {
+	num := statespace.Binomial(g.End+1, p.D) - statespace.Binomial(g.Start, p.D)
+	if num <= 0 {
+		return 0
+	}
+	return p.TotalArrivalRate() * num / statespace.Binomial(p.N, p.D)
+}
+
+// Exact is the unmodified SQ(d) Markov process on the full (untruncated)
+// sorted state space. Its stationary distribution is computed numerically
+// on a queue-capped subspace (see internal/markov) and serves as ground
+// truth between the two bounds.
+type Exact struct {
+	P Params
+}
+
+// Params implements Model.
+func (e *Exact) Params() Params { return e.P }
+
+// Transitions implements Model.
+func (e *Exact) Transitions(m statespace.State) []Transition {
+	groups := m.Groups()
+	ts := make([]Transition, 0, 2*len(groups))
+	for _, g := range groups {
+		if r := arrivalRate(e.P, g); r > 0 {
+			ts = append(ts, Transition{To: m.AfterArrival(g), Rate: r})
+		}
+		if g.Level > 0 {
+			// Each of the group's busy servers completes at rate μ = 1; by
+			// the paper's convention all completions collapse onto the
+			// group's last index.
+			ts = append(ts, Transition{To: m.AfterDeparture(g), Rate: float64(g.Size())})
+		}
+	}
+	return ts
+}
+
+var _ Model = (*Exact)(nil)

@@ -1,0 +1,186 @@
+package sqd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"finitelb/internal/statespace"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{name: "valid", p: Params{N: 6, D: 2, Rho: 0.9}},
+		{name: "d equals N", p: Params{N: 3, D: 3, Rho: 0.5}},
+		{name: "d one", p: Params{N: 3, D: 1, Rho: 0.5}},
+		{name: "no servers", p: Params{N: 0, D: 1, Rho: 0.5}, wantErr: true},
+		{name: "d too large", p: Params{N: 3, D: 4, Rho: 0.5}, wantErr: true},
+		{name: "d zero", p: Params{N: 3, D: 0, Rho: 0.5}, wantErr: true},
+		{name: "rho zero", p: Params{N: 3, D: 2, Rho: 0}, wantErr: true},
+		{name: "rho one", p: Params{N: 3, D: 2, Rho: 1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate(%+v) = %v, wantErr %v", tt.p, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestArrivalRateDistinct checks the Section II-A rate for states with all
+// distinct queue lengths: λN·C(i−1, d−1)/C(N, d) for 1-based server i.
+func TestArrivalRateDistinct(t *testing.T) {
+	p := Params{N: 6, D: 2, Rho: 0.75}
+	m := statespace.MustState(10, 8, 6, 4, 2, 1)
+	lamN := p.TotalArrivalRate()
+	cn := statespace.Binomial(6, 2)
+	for _, g := range m.Groups() {
+		i := g.Start + 1 // paper's 1-based index
+		want := lamN * statespace.Binomial(i-1, p.D-1) / cn
+		if got := arrivalRate(p, g); math.Abs(got-want) > 1e-12 {
+			t.Errorf("arrival rate at server %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestArrivalRateTieGroup checks the tie-group rate λN·(C(i+j,d)−C(i−1,d))/C(N,d).
+func TestArrivalRateTieGroup(t *testing.T) {
+	p := Params{N: 5, D: 3, Rho: 0.6}
+	m := statespace.MustState(7, 4, 4, 4, 1)
+	g := m.GroupOf(1) // group spans 1-based servers 2..4
+	cn := statespace.Binomial(5, 3)
+	want := p.TotalArrivalRate() * (statespace.Binomial(4, 3) - statespace.Binomial(1, 3)) / cn
+	if got := arrivalRate(p, g); math.Abs(got-want) > 1e-12 {
+		t.Errorf("tie-group arrival rate = %v, want %v", got, want)
+	}
+}
+
+// TestArrivalRatesSumToLambdaN: every arriving job lands somewhere, so the
+// arrival rates across groups always total λN (the paper's telescoping
+// identity Σ C(i−1,d−1) = C(N,d)).
+func TestArrivalRatesSumToLambdaN(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		n := 2 + rng.IntN(6)
+		p := Params{N: n, D: 1 + rng.IntN(n), Rho: 0.05 + 0.9*rng.Float64()}
+		m := randomState(rng, n, 6)
+		var sum float64
+		for _, g := range m.Groups() {
+			sum += arrivalRate(p, g)
+		}
+		return math.Abs(sum-p.TotalArrivalRate()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactTransitionsSmall(t *testing.T) {
+	// SQ(2), N=3, state (2,1,0): three singleton groups.
+	p := Params{N: 3, D: 2, Rho: 0.5}
+	e := &Exact{P: p}
+	m := statespace.MustState(2, 1, 0)
+	got := map[string]float64{}
+	for _, tr := range Merged(e.Transitions(m)) {
+		got[tr.To.String()] = tr.Rate
+	}
+	lamN := 1.5
+	c32 := 3.0 // C(3,2)
+	want := map[string]float64{
+		"(2,2,0)": lamN * 1 / c32, // join server 2: C(1,1)=1
+		"(2,1,1)": lamN * 2 / c32, // join server 3: C(2,1)=2
+		"(1,1,0)": 1,              // departure from server 1
+		"(2,0,0)": 1,              // departure from server 2
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-12 {
+			t.Errorf("rate to %s = %v, want %v", k, got[k], v)
+		}
+	}
+	// Server 1 (the longest) can never be selected under d=2 with distinct
+	// lengths: it would need one *longer* sampled companion.
+	if _, bad := got["(3,1,0)"]; bad {
+		t.Error("arrival joined the strictly longest queue under SQ(2)")
+	}
+}
+
+func TestExactTransitionsTieConventions(t *testing.T) {
+	p := Params{N: 3, D: 2, Rho: 0.5}
+	e := &Exact{P: p}
+	m := statespace.MustState(1, 1, 1)
+	got := map[string]float64{}
+	for _, tr := range Merged(e.Transitions(m)) {
+		got[tr.To.String()] = tr.Rate
+	}
+	// All three servers tie: any sample selects the group; arrival rate λN.
+	if math.Abs(got["(2,1,1)"]-1.5) > 1e-12 {
+		t.Errorf("arrival rate = %v, want 1.5", got["(2,1,1)"])
+	}
+	// Three busy servers depart at total rate 3 onto one representative.
+	if math.Abs(got["(1,1,0)"]-3) > 1e-12 {
+		t.Errorf("departure rate = %v, want 3", got["(1,1,0)"])
+	}
+}
+
+func TestJSQOnlyFeedsShortest(t *testing.T) {
+	p := Params{N: 4, D: 4, Rho: 0.8}
+	e := &Exact{P: p}
+	m := statespace.MustState(5, 3, 2, 1)
+	for _, tr := range e.Transitions(m) {
+		if tr.To.Total() == m.Total()+1 && !tr.To.Equal(statespace.MustState(5, 3, 2, 2)) {
+			t.Errorf("JSQ arrival reached %v", tr.To)
+		}
+	}
+}
+
+func TestD1UniformSplit(t *testing.T) {
+	p := Params{N: 3, D: 1, Rho: 0.9}
+	e := &Exact{P: p}
+	m := statespace.MustState(4, 2, 0)
+	for _, tr := range e.Transitions(m) {
+		if tr.To.Total() == m.Total()+1 && math.Abs(tr.Rate-0.9) > 1e-12 {
+			t.Errorf("SQ(1) arrival rate to %v = %v, want λ = 0.9 per server", tr.To, tr.Rate)
+		}
+	}
+}
+
+func TestMerged(t *testing.T) {
+	a := statespace.MustState(1, 0)
+	b := statespace.MustState(2, 0)
+	ts := Merged([]Transition{{To: a, Rate: 1}, {To: b, Rate: 2}, {To: a, Rate: 3}})
+	if len(ts) != 2 {
+		t.Fatalf("Merged kept %d entries, want 2", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.To.Equal(a) && tr.Rate != 4 {
+			t.Errorf("merged rate to %v = %v, want 4", a, tr.Rate)
+		}
+	}
+}
+
+func randomState(rng *rand.Rand, n, maxLevel int) statespace.State {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = rng.IntN(maxLevel + 1)
+	}
+	return statespace.SortDesc(m)
+}
+
+// randomTruncState returns a random state inside S (diff ≤ t).
+func randomTruncState(rng *rand.Rand, n, t int) statespace.State {
+	base := rng.IntN(4)
+	m := make([]int, n)
+	for i := range m {
+		m[i] = base + rng.IntN(t+1)
+	}
+	return statespace.SortDesc(m)
+}

@@ -1,0 +1,211 @@
+package statespace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Patterns enumerates all δ-patterns of the truncated space S for N servers
+// and threshold T: vectors δ1 ≥ δ2 ≥ … ≥ δN = 0 with δ1 ≤ T. Their count is
+// C(N+T−1, T), the per-block state count of the paper's QBD partition.
+// Patterns are produced in a fixed deterministic order shared by every
+// caller, which is what the block alignment of the QBD construction needs.
+func Patterns(n, t int) []State {
+	if n < 1 || t < 0 {
+		panic(fmt.Sprintf("statespace: invalid Patterns(%d, %d)", n, t))
+	}
+	var out []State
+	cur := make(State, n)
+	var rec func(pos, cap int)
+	rec = func(pos, cap int) {
+		if pos < 0 {
+			out = append(out, cur.Clone())
+			return
+		}
+		// Build from the tail: position N−1 is fixed at 0; each earlier
+		// position ranges from its successor's value up to T.
+		lo := 0
+		if pos < n-1 {
+			lo = cur[pos+1]
+		}
+		for v := lo; v <= cap; v++ {
+			cur[pos] = v
+			rec(pos-1, cap)
+		}
+	}
+	cur[n-1] = 0
+	if n == 1 {
+		return []State{cur.Clone()}
+	}
+	rec(n-2, t)
+	return out
+}
+
+// StatesWithTotal enumerates the states of S (diff ≤ t) holding exactly
+// total jobs, in lexicographic order of the sorted vector.
+func StatesWithTotal(n, t, total int) []State {
+	var out []State
+	for _, p := range Patterns(n, t) {
+		rem := total - p.Total()
+		if rem < 0 || rem%n != 0 {
+			continue
+		}
+		out = append(out, p.ShiftUp(rem/n))
+	}
+	sortStates(out)
+	return out
+}
+
+// EnumTruncated enumerates all states of S (diff ≤ t) with at most maxTotal
+// jobs, ordered first by total, then lexicographically — the block-friendly
+// ordering of Section IV.
+func EnumTruncated(n, t, maxTotal int) []State {
+	var out []State
+	for total := 0; total <= maxTotal; total++ {
+		out = append(out, StatesWithTotal(n, t, total)...)
+	}
+	return out
+}
+
+// EnumCapped enumerates all sorted states with per-queue cap K (m1 ≤ K),
+// i.e. the full untruncated SQ(d) space clipped for numerical solution of
+// the exact model. States are ordered by total, then lexicographically.
+func EnumCapped(n, k int) []State {
+	var out []State
+	cur := make(State, n)
+	var rec func(pos, capv int)
+	rec = func(pos, capv int) {
+		if pos == n {
+			out = append(out, cur.Clone())
+			return
+		}
+		for v := 0; v <= capv; v++ {
+			cur[pos] = v
+			rec(pos+1, v)
+		}
+	}
+	rec(0, k)
+	byTotal := func(a, b State) bool {
+		ta, tb := a.Total(), b.Total()
+		if ta != tb {
+			return ta < tb
+		}
+		return lexLess(a, b)
+	}
+	sortStatesBy(out, byTotal)
+	return out
+}
+
+// BlockStates returns the states of block B_q of the paper's partition:
+// those with (N−1)T + qN < #m ≤ (N−1)T + (q+1)N. Exactly one state per
+// δ-pattern, in pattern order, so that the i-th state of every block has
+// the i-th pattern — the alignment the QBD construction relies on.
+func BlockStates(n, t, q int) []State {
+	if q < 0 {
+		panic("statespace: negative block index")
+	}
+	lo := (n-1)*t + q*n // exclusive
+	out := make([]State, 0, len(Patterns(n, t)))
+	for _, p := range Patterns(n, t) {
+		// Unique shift c with lo < p.Total() + c·n ≤ lo + n.
+		pt := p.Total()
+		c := (lo + n - pt) / n
+		if pt+c*n <= lo {
+			c++
+		}
+		if c < 0 {
+			panic(fmt.Sprintf("statespace: block %d shift negative for pattern %v", q, p))
+		}
+		out = append(out, p.ShiftUp(c))
+	}
+	return out
+}
+
+// BoundaryStates returns the boundary block B_{≤(N−1)T} of Eq. (8): all
+// states of S with #m ≤ (N−1)T, ordered by total then lexicographically.
+func BoundaryStates(n, t int) []State {
+	return EnumTruncated(n, t, (n-1)*t)
+}
+
+// BlockOf returns the block index q ≥ 0 of a non-boundary total, or −1 for
+// boundary totals (#m ≤ (N−1)T).
+func BlockOf(n, t, total int) int {
+	b := (n - 1) * t
+	if total <= b {
+		return -1
+	}
+	return (total - b - 1) / n
+}
+
+// Index maps state keys to dense indices for matrix assembly.
+type Index struct {
+	states []State
+	pos    map[string]int
+}
+
+// NewIndex builds an index over the given states. Duplicate states panic:
+// they always indicate an enumeration bug.
+func NewIndex(states []State) *Index {
+	ix := &Index{states: states, pos: make(map[string]int, len(states))}
+	for i, s := range states {
+		k := s.Key()
+		if _, dup := ix.pos[k]; dup {
+			panic(fmt.Sprintf("statespace: duplicate state %v in index", s))
+		}
+		ix.pos[k] = i
+	}
+	return ix
+}
+
+// Len returns the number of indexed states.
+func (ix *Index) Len() int { return len(ix.states) }
+
+// States returns the indexed states in order. The slice is shared; callers
+// must not modify it.
+func (ix *Index) States() []State { return ix.states }
+
+// At returns the i-th state.
+func (ix *Index) At(i int) State { return ix.states[i] }
+
+// Of returns the index of s and whether it is present.
+func (ix *Index) Of(s State) (int, bool) {
+	i, ok := ix.pos[s.Key()]
+	return i, ok
+}
+
+// Binomial returns C(n, k) as a float64, 0 when k < 0 or k > n. Exact for
+// the modest arguments used by SQ(d) rates (n ≤ a few hundred).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// BinomialInt returns C(n, k) as an int64 for small arguments, useful for
+// exact block-size assertions.
+func BinomialInt(n, k int) int64 {
+	return int64(Binomial(n, k) + 0.5)
+}
+
+func lexLess(a, b State) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func sortStates(s []State) { sortStatesBy(s, lexLess) }
+
+func sortStatesBy(s []State, less func(a, b State) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}

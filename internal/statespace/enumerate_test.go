@@ -1,0 +1,222 @@
+package statespace
+
+import (
+	"testing"
+)
+
+func TestPatternsCountMatchesBinomial(t *testing.T) {
+	// The paper: each QBD block has C(N+T−1, T) states, one per pattern.
+	tests := []struct{ n, t int }{
+		{2, 1}, {2, 3}, {3, 2}, {3, 3}, {4, 2}, {6, 3}, {12, 3}, {1, 5},
+	}
+	for _, tt := range tests {
+		got := len(Patterns(tt.n, tt.t))
+		want := int(BinomialInt(tt.n+tt.t-1, tt.t))
+		if got != want {
+			t.Errorf("Patterns(%d,%d) count = %d, want C(%d,%d) = %d",
+				tt.n, tt.t, got, tt.n+tt.t-1, tt.t, want)
+		}
+	}
+}
+
+func TestPatternsShape(t *testing.T) {
+	for _, p := range Patterns(4, 2) {
+		if p[len(p)-1] != 0 {
+			t.Errorf("pattern %v does not end at 0", p)
+		}
+		if p[0] > 2 {
+			t.Errorf("pattern %v exceeds T=2", p)
+		}
+		if _, err := NewState(p); err != nil {
+			t.Errorf("pattern %v not a valid state: %v", p, err)
+		}
+	}
+}
+
+func TestPatternsN3T2Explicit(t *testing.T) {
+	want := map[string]bool{
+		"(0,0,0)": true, "(1,0,0)": true, "(1,1,0)": true,
+		"(2,0,0)": true, "(2,1,0)": true, "(2,2,0)": true,
+	}
+	got := Patterns(3, 2)
+	if len(got) != len(want) {
+		t.Fatalf("Patterns(3,2) = %v, want 6 patterns", got)
+	}
+	for _, p := range got {
+		if !want[p.String()] {
+			t.Errorf("unexpected pattern %v", p)
+		}
+	}
+}
+
+func TestStatesWithTotal(t *testing.T) {
+	// N=3, T=2, total=5: shifted patterns with matching residue.
+	got := StatesWithTotal(3, 2, 5)
+	want := map[string]bool{"(2,2,1)": true, "(3,1,1)": true}
+	if len(got) != len(want) {
+		t.Fatalf("StatesWithTotal(3,2,5) = %v", got)
+	}
+	for _, s := range got {
+		if !want[s.String()] {
+			t.Errorf("unexpected state %v", s)
+		}
+		if s.Total() != 5 || s.Diff() > 2 {
+			t.Errorf("state %v violates total/diff", s)
+		}
+	}
+}
+
+func TestBlockStatesPartition(t *testing.T) {
+	const n, tt = 3, 2
+	patterns := Patterns(n, tt)
+	for q := 0; q < 4; q++ {
+		blk := BlockStates(n, tt, q)
+		if len(blk) != len(patterns) {
+			t.Fatalf("block %d has %d states, want %d", q, len(blk), len(patterns))
+		}
+		lo, hi := (n-1)*tt+q*n, (n-1)*tt+(q+1)*n
+		for i, s := range blk {
+			if tot := s.Total(); tot <= lo || tot > hi {
+				t.Errorf("block %d state %v total %d outside (%d, %d]", q, s, tot, lo, hi)
+			}
+			if !s.Pattern().Equal(patterns[i]) {
+				t.Errorf("block %d position %d has pattern %v, want %v", q, i, s.Pattern(), patterns[i])
+			}
+			if s.Diff() > tt {
+				t.Errorf("block state %v exceeds T", s)
+			}
+		}
+	}
+}
+
+// TestBlockShiftBijection verifies the paper's Eq. (9) premise: adding one
+// job to every queue maps block q exactly onto block q+1, position-wise.
+func TestBlockShiftBijection(t *testing.T) {
+	for _, cfg := range []struct{ n, t int }{{3, 2}, {3, 3}, {4, 2}, {6, 3}} {
+		b1 := BlockStates(cfg.n, cfg.t, 1)
+		b2 := BlockStates(cfg.n, cfg.t, 2)
+		for i := range b1 {
+			if !b1[i].ShiftUp(1).Equal(b2[i]) {
+				t.Errorf("N=%d T=%d: block1[%d]+1 = %v, block2[%d] = %v",
+					cfg.n, cfg.t, i, b1[i].ShiftUp(1), i, b2[i])
+			}
+		}
+	}
+}
+
+// TestNonBoundaryAllBusy verifies the structural fact the QBD regularity
+// rests on: every state beyond the boundary block has no idle server.
+func TestNonBoundaryAllBusy(t *testing.T) {
+	for _, cfg := range []struct{ n, t int }{{3, 2}, {4, 3}, {6, 2}} {
+		for q := 0; q < 3; q++ {
+			for _, s := range BlockStates(cfg.n, cfg.t, q) {
+				if s.Busy() != cfg.n {
+					t.Errorf("N=%d T=%d block %d: state %v has an idle server", cfg.n, cfg.t, q, s)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundaryStates(t *testing.T) {
+	const n, tt = 3, 2
+	bnd := BoundaryStates(n, tt)
+	maxTotal := (n - 1) * tt
+	seen := map[string]bool{}
+	for _, s := range bnd {
+		if s.Total() > maxTotal {
+			t.Errorf("boundary state %v exceeds total %d", s, maxTotal)
+		}
+		if s.Diff() > tt {
+			t.Errorf("boundary state %v exceeds diff %d", s, tt)
+		}
+		seen[s.Key()] = true
+	}
+	// The paper: the largest boundary state with mN = 0 is (T,...,T,0).
+	top := MustState(2, 2, 0)
+	if !seen[top.Key()] {
+		t.Errorf("boundary does not contain %v", top)
+	}
+	// Every state of S with mN = 0 is in the boundary.
+	for total := 0; total <= maxTotal; total++ {
+		for _, s := range StatesWithTotal(n, tt, total) {
+			if s[n-1] == 0 && !seen[s.Key()] {
+				t.Errorf("state %v with empty queue missing from boundary", s)
+			}
+		}
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	const n, tt = 3, 2 // boundary ≤ 4
+	tests := []struct{ total, want int }{
+		{0, -1}, {4, -1}, {5, 0}, {7, 0}, {8, 1}, {10, 1}, {11, 2},
+	}
+	for _, c := range tests {
+		if got := BlockOf(n, tt, c.total); got != c.want {
+			t.Errorf("BlockOf(total=%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestEnumCapped(t *testing.T) {
+	got := EnumCapped(2, 2)
+	// All sorted pairs with entries ≤ 2: (0,0),(1,0),(1,1),(2,0),(2,1),(2,2).
+	if len(got) != 6 {
+		t.Fatalf("EnumCapped(2,2) = %v, want 6 states", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Total() > got[i].Total() {
+			t.Errorf("EnumCapped not ordered by total: %v before %v", got[i-1], got[i])
+		}
+	}
+	// Count identity: number of sorted states with cap K equals C(K+N, N).
+	if n := len(EnumCapped(3, 4)); n != int(BinomialInt(7, 3)) {
+		t.Errorf("EnumCapped(3,4) count = %d, want %d", n, BinomialInt(7, 3))
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	states := EnumTruncated(3, 2, 10)
+	ix := NewIndex(states)
+	if ix.Len() != len(states) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(states))
+	}
+	for i, s := range states {
+		j, ok := ix.Of(s)
+		if !ok || j != i {
+			t.Fatalf("Of(%v) = %d,%v, want %d,true", s, j, ok, i)
+		}
+		if !ix.At(i).Equal(s) {
+			t.Fatalf("At(%d) = %v, want %v", i, ix.At(i), s)
+		}
+	}
+	if _, ok := ix.Of(MustState(9, 9, 9)); ok {
+		t.Error("Of reported a state that was never indexed")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0},
+		{50, 25, 126410606437752}, {250, 2, 31125},
+	}
+	for _, tt := range tests {
+		if got := Binomial(tt.n, tt.k); got != tt.want {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+	// Paper identity: Σ_{i=d}^{N} C(i−1, d−1) = C(N, d).
+	for _, c := range []struct{ n, d int }{{6, 2}, {10, 3}, {12, 5}} {
+		var sum float64
+		for i := c.d; i <= c.n; i++ {
+			sum += Binomial(i-1, c.d-1)
+		}
+		if want := Binomial(c.n, c.d); sum != want {
+			t.Errorf("Σ C(i−1,%d−1) for N=%d = %v, want %v", c.d, c.n, sum, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package statespace
+
+import (
+	"testing"
+)
+
+// FuzzNewState: NewState must accept exactly the sorted nonnegative
+// vectors and never panic on arbitrary input.
+func FuzzNewState(f *testing.F) {
+	f.Add([]byte{3, 2, 1})
+	f.Add([]byte{0})
+	f.Add([]byte{5, 5, 5, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 16 {
+			t.Skip()
+		}
+		m := make([]int, len(raw))
+		sorted := true
+		for i, b := range raw {
+			m[i] = int(b % 32)
+			if i > 0 && m[i-1] < m[i] {
+				sorted = false
+			}
+		}
+		s, err := NewState(m)
+		if sorted && err != nil {
+			t.Fatalf("NewState(%v) rejected a sorted vector: %v", m, err)
+		}
+		if !sorted && err == nil {
+			t.Fatalf("NewState(%v) accepted an unsorted vector", m)
+		}
+		if err == nil && s.Total() < 0 {
+			t.Fatalf("negative total for %v", s)
+		}
+	})
+}
+
+// FuzzLeqPartialOrder: Leq must be a partial order on equal-length states
+// — reflexive, antisymmetric, and consistent with SortDesc canonization.
+func FuzzLeqPartialOrder(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{0, 0}, []byte{9, 9})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		n := len(rawA)
+		if n == 0 || n > 10 || len(rawB) != n {
+			t.Skip()
+		}
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = int(rawA[i] % 16)
+			b[i] = int(rawB[i] % 16)
+		}
+		sa, sb := SortDesc(a), SortDesc(b)
+		if !Leq(sa, sa) || !Leq(sb, sb) {
+			t.Fatal("Leq not reflexive")
+		}
+		if Leq(sa, sb) && Leq(sb, sa) {
+			// Antisymmetry: mutual domination forces equal partial sums,
+			// hence equal sorted vectors.
+			if !sa.Equal(sb) {
+				t.Fatalf("antisymmetry violated: %v vs %v", sa, sb)
+			}
+		}
+	})
+}
+
+// FuzzGroupsRoundTrip: group decomposition must tile the state exactly and
+// the arrival/departure conventions must keep vectors sorted.
+func FuzzGroupsRoundTrip(f *testing.F) {
+	f.Add([]byte{4, 4, 2, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 12 {
+			t.Skip()
+		}
+		m := make([]int, len(raw))
+		for i, b := range raw {
+			m[i] = int(b % 8)
+		}
+		s := SortDesc(m)
+		covered := 0
+		for _, g := range s.Groups() {
+			for i := g.Start; i <= g.End; i++ {
+				if s[i] != g.Level {
+					t.Fatalf("group %v does not match state %v", g, s)
+				}
+				covered++
+			}
+			if _, err := NewState(s.AfterArrival(g)); err != nil {
+				t.Fatalf("AfterArrival broke sorting: %v", err)
+			}
+			if g.Level > 0 {
+				if _, err := NewState(s.AfterDeparture(g)); err != nil {
+					t.Fatalf("AfterDeparture broke sorting: %v", err)
+				}
+			}
+		}
+		if covered != len(s) {
+			t.Fatalf("groups cover %d of %d positions in %v", covered, len(s), s)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package statespace implements the ordered queue-length state space of the
+// SQ(d) models from Godtschalk & Ciucu (ICDCS 2016): states are
+// queue-length vectors sorted in non-increasing order, the truncated space
+// S caps the longest/shortest difference at T, δ-patterns identify states
+// up to a uniform level shift, and the precedence relation of Eq. (5)
+// orders states by partial sums.
+package statespace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is a queue-length vector sorted in non-increasing order:
+// s[0] is the longest queue, s[len(s)-1] the shortest (paper Eq. (1)).
+type State []int
+
+// NewState validates and copies m into a State. It returns an error if m is
+// empty, contains a negative entry, or is not sorted non-increasingly.
+func NewState(m []int) (State, error) {
+	if len(m) == 0 {
+		return nil, fmt.Errorf("statespace: empty state")
+	}
+	for i, v := range m {
+		if v < 0 {
+			return nil, fmt.Errorf("statespace: negative queue length %d at position %d", v, i)
+		}
+		if i > 0 && m[i-1] < v {
+			return nil, fmt.Errorf("statespace: state %v not sorted non-increasingly at position %d", m, i)
+		}
+	}
+	return State(append([]int(nil), m...)), nil
+}
+
+// MustState is NewState that panics on error, for tests and literals.
+func MustState(m ...int) State {
+	s, err := NewState(m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the number of servers.
+func (s State) N() int { return len(s) }
+
+// Total returns #m, the total number of jobs in the system.
+func (s State) Total() int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Diff returns m1 − mN, the spread between longest and shortest queue.
+func (s State) Diff() int { return s[0] - s[len(s)-1] }
+
+// Busy returns the number of non-empty queues.
+func (s State) Busy() int {
+	n := 0
+	for _, v := range s {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitingJobs returns Σ_i max(m_i − 1, 0), the number of jobs not in
+// service, which drives the paper's delay metric.
+func (s State) WaitingJobs() int {
+	w := 0
+	for _, v := range s {
+		if v > 1 {
+			w += v - 1
+		}
+	}
+	return w
+}
+
+// Clone returns a copy of s.
+func (s State) Clone() State { return append(State(nil), s...) }
+
+// Key returns a compact map key unique among states of the same length.
+func (s State) Key() string {
+	var b strings.Builder
+	b.Grow(len(s) * 2)
+	for _, v := range s {
+		// Queue lengths in this package stay far below 1<<15; encode as two
+		// bytes so keys remain unique even for deep boundary exploration.
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v))
+	}
+	return b.String()
+}
+
+// String renders the state as (m1,m2,...,mN).
+func (s State) String() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Equal reports whether s and t are identical vectors.
+func (s State) Equal(t State) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i, v := range s {
+		if v != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Group is a maximal run of equal queue lengths: queues Start..End
+// (inclusive, 0-based) all hold Level jobs.
+type Group struct {
+	Level      int
+	Start, End int
+}
+
+// Size returns the number of queues in the group.
+func (g Group) Size() int { return g.End - g.Start + 1 }
+
+// Groups decomposes s into its tie groups, longest level first.
+func (s State) Groups() []Group {
+	var gs []Group
+	for i := 0; i < len(s); {
+		j := i
+		for j+1 < len(s) && s[j+1] == s[i] {
+			j++
+		}
+		gs = append(gs, Group{Level: s[i], Start: i, End: j})
+		i = j + 1
+	}
+	return gs
+}
+
+// GroupOf returns the tie group containing queue index i.
+func (s State) GroupOf(i int) Group {
+	start, end := i, i
+	for start > 0 && s[start-1] == s[i] {
+		start--
+	}
+	for end+1 < len(s) && s[end+1] == s[i] {
+		end++
+	}
+	return Group{Level: s[i], Start: start, End: end}
+}
+
+// AfterArrival returns the state reached when a job joins the tie group g:
+// by the paper's first convention the first queue of the group (index
+// g.Start) is incremented, which keeps the vector sorted.
+func (s State) AfterArrival(g Group) State {
+	t := s.Clone()
+	t[g.Start]++
+	return t
+}
+
+// AfterDeparture returns the state reached when a job departs from tie
+// group g: by the paper's second convention the last queue of the group
+// (index g.End) is decremented, which keeps the vector sorted. It panics if
+// the group is idle (level 0).
+func (s State) AfterDeparture(g Group) State {
+	if g.Level == 0 {
+		panic("statespace: departure from an idle group")
+	}
+	t := s.Clone()
+	t[g.End]--
+	return t
+}
+
+// Pattern returns δ = m − mN·1, the state's shape up to a uniform level
+// shift. δ is sorted non-increasingly with δ[N−1] = 0.
+func (s State) Pattern() State {
+	min := s[len(s)-1]
+	p := make(State, len(s))
+	for i, v := range s {
+		p[i] = v - min
+	}
+	return p
+}
+
+// ShiftUp returns s + k·1 (every queue k levels higher); k may be negative
+// as long as the result stays non-negative.
+func (s State) ShiftUp(k int) State {
+	t := make(State, len(s))
+	for i, v := range s {
+		if v+k < 0 {
+			panic(fmt.Sprintf("statespace: ShiftUp(%d) of %v goes negative", k, s))
+		}
+		t[i] = v + k
+	}
+	return t
+}
+
+// Leq reports whether (s, t) is a precedence pair in the sense of Eq. (5):
+// Σ_{i≤j} s_i ≤ Σ_{i≤j} t_i for every j. Intuitively s is "more
+// preferable": fewer jobs in the longest j queues for every j.
+func Leq(s, t State) bool {
+	if len(s) != len(t) {
+		panic("statespace: Leq on states of different sizes")
+	}
+	ps, pt := 0, 0
+	for i := range s {
+		ps += s[i]
+		pt += t[i]
+		if ps > pt {
+			return false
+		}
+	}
+	return true
+}
+
+// SortDesc sorts a raw vector in place in non-increasing order and returns
+// it as a State. Used by simulators that track unsorted per-server queues.
+func SortDesc(m []int) State {
+	sort.Sort(sort.Reverse(sort.IntSlice(m)))
+	return State(m)
+}

@@ -1,0 +1,207 @@
+package statespace
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStateValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      []int
+		wantErr bool
+	}{
+		{name: "valid sorted", in: []int{3, 2, 2, 0}},
+		{name: "single", in: []int{5}},
+		{name: "all zero", in: []int{0, 0, 0}},
+		{name: "empty", in: nil, wantErr: true},
+		{name: "unsorted", in: []int{1, 2}, wantErr: true},
+		{name: "negative", in: []int{2, -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewState(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewState(%v) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	s := MustState(4, 2, 2, 0)
+	if s.N() != 4 {
+		t.Errorf("N = %d, want 4", s.N())
+	}
+	if s.Total() != 8 {
+		t.Errorf("Total = %d, want 8", s.Total())
+	}
+	if s.Diff() != 4 {
+		t.Errorf("Diff = %d, want 4", s.Diff())
+	}
+	if s.Busy() != 3 {
+		t.Errorf("Busy = %d, want 3", s.Busy())
+	}
+	if s.WaitingJobs() != 5 { // (4−1) + (2−1) + (2−1) + 0
+		t.Errorf("WaitingJobs = %d, want 5", s.WaitingJobs())
+	}
+	if got := s.String(); got != "(4,2,2,0)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	s := MustState(4, 2, 2, 0)
+	gs := s.Groups()
+	want := []Group{{Level: 4, Start: 0, End: 0}, {Level: 2, Start: 1, End: 2}, {Level: 0, Start: 3, End: 3}}
+	if len(gs) != len(want) {
+		t.Fatalf("Groups = %v, want %v", gs, want)
+	}
+	for i := range want {
+		if gs[i] != want[i] {
+			t.Errorf("group %d = %v, want %v", i, gs[i], want[i])
+		}
+	}
+	if g := s.GroupOf(2); g != (Group{Level: 2, Start: 1, End: 2}) {
+		t.Errorf("GroupOf(2) = %v", g)
+	}
+	if g := MustState(3, 3, 3).GroupOf(1); g.Size() != 3 {
+		t.Errorf("GroupOf on full tie = %v, want size 3", g)
+	}
+}
+
+func TestArrivalDepartureConventions(t *testing.T) {
+	s := MustState(3, 2, 2, 1)
+	mid := s.GroupOf(1)
+	// Arrival increments the group's first index (paper convention 1).
+	if got := s.AfterArrival(mid); !got.Equal(MustState(3, 3, 2, 1)) {
+		t.Errorf("AfterArrival = %v, want (3,3,2,1)", got)
+	}
+	// Departure decrements the group's last index (paper convention 2).
+	if got := s.AfterDeparture(mid); !got.Equal(MustState(3, 2, 1, 1)) {
+		t.Errorf("AfterDeparture = %v, want (3,2,1,1)", got)
+	}
+}
+
+func TestArrivalDepartureKeepSortedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		s := randomState(rng, 2+rng.IntN(6), 5)
+		for _, g := range s.Groups() {
+			if _, err := NewState(s.AfterArrival(g)); err != nil {
+				return false
+			}
+			if g.Level > 0 {
+				if _, err := NewState(s.AfterDeparture(g)); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepartureFromIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AfterDeparture from idle group did not panic")
+		}
+	}()
+	s := MustState(1, 0)
+	s.AfterDeparture(s.GroupOf(1))
+}
+
+func TestPatternShift(t *testing.T) {
+	s := MustState(5, 3, 3, 2)
+	p := s.Pattern()
+	if !p.Equal(MustState(3, 1, 1, 0)) {
+		t.Errorf("Pattern = %v, want (3,1,1,0)", p)
+	}
+	if !p.ShiftUp(2).Equal(MustState(5, 3, 3, 2)) {
+		t.Errorf("ShiftUp(2) = %v", p.ShiftUp(2))
+	}
+}
+
+func TestLeq(t *testing.T) {
+	tests := []struct {
+		a, b State
+		want bool
+	}{
+		{MustState(1, 1, 1), MustState(3, 0, 0), true},  // balanced ⪯ unbalanced
+		{MustState(3, 0, 0), MustState(1, 1, 1), false}, // same totals, reverse
+		{MustState(1, 0, 0), MustState(1, 1, 0), true},  // fewer jobs ⪯ more
+		{MustState(2, 2, 2), MustState(2, 2, 2), true},  // reflexive
+		{MustState(2, 1, 0), MustState(3, 1, 1), true},  // domination everywhere
+		{MustState(0, 0, 0), MustState(5, 5, 5), true},  // empty ⪯ anything
+		{MustState(2, 2, 0), MustState(3, 0, 0), false}, // partial sums cross
+	}
+	for _, tt := range tests {
+		if got := Leq(tt.a, tt.b); got != tt.want {
+			t.Errorf("Leq(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// TestLeqGeneratorPairs verifies Eq. (6)'s generating moves: for any state,
+// m ⪯ m + e_N and m ⪯ m + e_i − e_{i+1} whenever the latter is a valid
+// state, mirroring the definition of the set P_m.
+func TestLeqGeneratorPairs(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 22))
+		s := randomState(rng, 2+rng.IntN(5), 4)
+		n := s.N()
+		// m + e_N as a sorted multiset: add one job to a shortest queue.
+		up := s.Clone()
+		up[n-1]++
+		SortDesc(up)
+		if !Leq(s, up) {
+			return false
+		}
+		for i := 0; i+1 < n; i++ {
+			if s[i+1] == 0 {
+				continue
+			}
+			shifted := s.Clone()
+			shifted[i]++
+			shifted[i+1]--
+			SortDesc(shifted)
+			if !Leq(s, shifted) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	seen := map[string]State{}
+	for _, s := range EnumTruncated(4, 3, 20) {
+		k := s.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision between %v and %v", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+func TestSortDesc(t *testing.T) {
+	got := SortDesc([]int{1, 3, 2, 0})
+	if !got.Equal(MustState(3, 2, 1, 0)) {
+		t.Errorf("SortDesc = %v", got)
+	}
+}
+
+func randomState(rng *rand.Rand, n, maxLevel int) State {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = rng.IntN(maxLevel + 1)
+	}
+	return SortDesc(m)
+}

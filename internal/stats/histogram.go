@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram accumulates nonnegative observations into fixed-width bins for
+// quantile estimation on large simulation streams, where storing samples is
+// not an option. Resolution is the bin width; values beyond the last bin
+// land in an overflow bucket whose contribution is reported exactly at the
+// boundary (quantiles inside the overflow region are lower bounds).
+type Histogram struct {
+	width    float64
+	bins     []int64
+	overflow int64
+	n        int64
+	max      float64
+}
+
+// NewHistogram creates a histogram covering [0, width·bins) at the given
+// resolution.
+func NewHistogram(width float64, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram %v × %d", width, bins))
+	}
+	return &Histogram{width: width, bins: make([]int64, bins)}
+}
+
+// Add records one observation; negative values panic (sojourns can't be).
+func (h *Histogram) Add(x float64) {
+	if x < 0 || math.IsNaN(x) {
+		panic(fmt.Sprintf("stats: invalid histogram observation %v", x))
+	}
+	h.n++
+	if x > h.max {
+		h.max = x
+	}
+	i := int(x / h.width)
+	if i >= len(h.bins) {
+		h.overflow++
+		return
+	}
+	h.bins[i]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile by linear interpolation
+// within the containing bin. For quantiles falling into the overflow
+// bucket it returns the histogram's upper edge (a lower bound on the true
+// quantile).
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("stats: quantile level %v outside (0,1)", q))
+	}
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	var cum float64
+	for i, c := range h.bins {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return (float64(i) + frac) * h.width
+		}
+		cum = next
+	}
+	return float64(len(h.bins)) * h.width
+}
+
+// Tail returns the empirical P(X > x); for x beyond the covered range it
+// returns the overflow fraction.
+func (h *Histogram) Tail(x float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	i := int(x / h.width)
+	if i >= len(h.bins) {
+		return float64(h.overflow) / float64(h.n)
+	}
+	var above int64 = h.overflow
+	for j := i + 1; j < len(h.bins); j++ {
+		above += h.bins[j]
+	}
+	// Within bin i, apportion linearly.
+	frac := x/h.width - float64(i)
+	above += int64(float64(h.bins[i]) * (1 - frac))
+	return float64(above) / float64(h.n)
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	h := NewHistogram(0.01, 200) // covers [0, 2)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 200_000; i++ {
+		h.Add(rng.Float64()) // U(0,1)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got := h.Quantile(q); math.Abs(got-q) > 0.01 {
+			t.Errorf("quantile(%v) = %v", q, got)
+		}
+	}
+	if h.N() != 200_000 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramQuantileExponential(t *testing.T) {
+	h := NewHistogram(0.02, 2000)
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 400_000; i++ {
+		h.Add(rng.ExpFloat64())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := -math.Log(1 - q)
+		if got := h.Quantile(q); math.Abs(got-want) > 0.05*want+0.02 {
+			t.Errorf("quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramTail(t *testing.T) {
+	h := NewHistogram(0.1, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) * 0.1) // one observation per bin start
+	}
+	// P(X > 5.0): 49 observations strictly above (5.1 … 9.9), plus the
+	// linear share of the containing bin.
+	got := h.Tail(5.0)
+	if math.Abs(got-0.50) > 0.02 {
+		t.Errorf("Tail(5.0) = %v, want ≈ 0.50", got)
+	}
+	if got := h.Tail(1000); got != 0 {
+		t.Errorf("Tail beyond range = %v, want 0 (no overflow)", got)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for i := 0; i < 90; i++ {
+		h.Add(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1e6) // overflow
+	}
+	if got := h.Tail(50); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("overflow tail = %v, want 0.1", got)
+	}
+	// The 0.95 quantile falls in overflow: clamp to the upper edge.
+	if got := h.Quantile(0.95); got != 10 {
+		t.Errorf("overflow quantile = %v, want upper edge 10", got)
+	}
+	if h.Max() != 1e6 {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10) },
+		func() { NewHistogram(1, 0) },
+		func() { h.Add(-1) },
+		func() { h.Add(math.NaN()) },
+		func() { h.Quantile(0) },
+		func() { h.Quantile(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 10)
+	if h.Quantile(0.5) != 0 || h.Tail(1) != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+}

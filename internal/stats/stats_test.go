@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of that classic dataset is 32/7.
+	if want := 32.0 / 7; math.Abs(w.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", w.Variance(), want)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Errorf("single observation: mean %v var %v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMatchesDirectProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 61))
+		n := 2 + rng.IntN(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			w.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		direct := ss / float64(n-1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Variance()-direct) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 10000; i++ {
+		b.Add(rng.Float64()) // iid uniform, mean 0.5
+	}
+	if b.Batches() != 1000 {
+		t.Fatalf("Batches = %d, want 1000", b.Batches())
+	}
+	lo, hi := b.Interval()
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("95%% CI (%v, %v) misses the true mean 0.5", lo, hi)
+	}
+	if b.HalfWidth() > 0.01 {
+		t.Errorf("half-width %v too wide for 10k uniform samples", b.HalfWidth())
+	}
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	b := NewBatchMeans(100)
+	for i := 0; i < 150; i++ {
+		b.Add(1)
+	}
+	if b.Batches() != 1 {
+		t.Fatalf("Batches = %d, want 1", b.Batches())
+	}
+	if !math.IsInf(b.HalfWidth(), 1) {
+		t.Error("half-width with one batch should be infinite")
+	}
+}
+
+func TestBatchMeansInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBatchMeans(0) did not panic")
+		}
+	}()
+	NewBatchMeans(0)
+}
