@@ -1,9 +1,11 @@
 package finitelb
 
-// One benchmark per evaluation artifact of the paper (see DESIGN.md's
-// experiment index). Each figure bench runs a budget-reduced version of the
-// corresponding panel and logs the series it produced; the full-fidelity
-// sweeps live in cmd/figures. Run with:
+// One benchmark per evaluation artifact of the paper (the experiment
+// inventory is described in doc.go and PAPER.md). Each figure bench runs a
+// budget-reduced version of the corresponding panel — once on a single
+// worker (the serial baseline) and once on the engine's default GOMAXPROCS
+// pool — and logs the series it produced; the full-fidelity sweeps live in
+// cmd/figures. Run with:
 //
 //	go test -bench=. -benchmem
 import (
@@ -17,8 +19,20 @@ import (
 	"finitelb/internal/sqd"
 )
 
+// figWorkerCounts names the two pool sizes every figure panel is
+// benchmarked at: the serial baseline and the engine default (GOMAXPROCS).
+var figWorkerCounts = []struct {
+	name    string
+	workers int
+}{
+	{"serial", 1},
+	{"parallel", 0},
+}
+
 // benchFig9 runs a reduced Figure 9 panel: relative error of the
-// asymptotic delay vs simulation across N, one series per d.
+// asymptotic delay vs simulation across N, one series per d — at both pool
+// sizes. Cells are seeded from their coordinates, so the series are
+// identical across worker counts (asserted in internal/figures tests).
 func benchFig9(b *testing.B, rho float64) {
 	b.Helper()
 	cfg := figures.Fig9Config{
@@ -26,16 +40,20 @@ func benchFig9(b *testing.B, rho float64) {
 		Ds:  []int{2, 10, 50},
 		Ns:  []int{10, 50, 250},
 	}
-	for i := 0; i < b.N; i++ {
-		chart, err := figures.Fig9(cfg, figures.SimBudget{Jobs: 200_000, Seed: 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, s := range chart.Series {
-				b.Logf("ρ=%g %s: N=%v → err%%=%v", rho, s.Name, s.X, s.Y)
+	for _, wc := range figWorkerCounts {
+		b.Run(wc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chart, err := figures.Fig9(cfg, figures.SimBudget{Jobs: 200_000, Seed: 1, Workers: wc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					for _, s := range chart.Series {
+						b.Logf("ρ=%g %s: N=%v → err%%=%v", rho, s.Name, s.X, s.Y)
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
@@ -43,24 +61,29 @@ func BenchmarkFig9a(b *testing.B) { benchFig9(b, 0.75) }
 func BenchmarkFig9b(b *testing.B) { benchFig9(b, 0.95) }
 
 // benchFig10 runs a reduced Figure 10 panel: upper bound, simulation,
-// improved lower bound and asymptotic delay across utilizations.
+// improved lower bound and asymptotic delay across utilizations — at both
+// pool sizes.
 func benchFig10(b *testing.B, n, t int) {
 	b.Helper()
 	cfg := figures.Fig10Config{N: n, D: 2, T: t, Rhos: []float64{0.3, 0.5, 0.7, 0.9}}
-	for i := 0; i < b.N; i++ {
-		points, _, err := figures.Fig10(cfg, figures.SimBudget{Jobs: 200_000, Seed: 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, p := range points {
-				b.Logf("N=%d T=%d ρ=%.2f: LB=%.4f sim=%.4f UB=%.4f asym=%.4f",
-					n, t, p.Rho, p.Lower, p.Simulated, p.Upper, p.Asymptotic)
+	for _, wc := range figWorkerCounts {
+		b.Run(wc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, _, err := figures.Fig10(cfg, figures.SimBudget{Jobs: 200_000, Seed: 1, Workers: wc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					for _, p := range points {
+						b.Logf("N=%d T=%d ρ=%.2f: LB=%.4f sim=%.4f UB=%.4f asym=%.4f",
+							n, t, p.Rho, p.Lower, p.Simulated, p.Upper, p.Asymptotic)
+					}
+					if bad := figures.CheckFig10Invariants(points); len(bad) > 0 {
+						b.Fatalf("invariant violations: %v", bad)
+					}
+				}
 			}
-			if bad := figures.CheckFig10Invariants(points); len(bad) > 0 {
-				b.Fatalf("invariant violations: %v", bad)
-			}
-		}
+		})
 	}
 }
 
@@ -146,6 +169,22 @@ func BenchmarkSimulator(b *testing.B) {
 				}
 			}
 			b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkSimulatorReplications measures the wall-clock effect of
+// splitting one simulation budget across concurrently executed
+// replications (R=1 is the bit-exact legacy single stream).
+func BenchmarkSimulatorReplications(b *testing.B) {
+	p := sqd.Params{N: 50, D: 10, Rho: 0.9}
+	for _, r := range []int{1, 4} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(p, sim.Options{Jobs: 800_000, Seed: 7, Replications: r}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

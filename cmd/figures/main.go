@@ -20,14 +20,15 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate: 9a, 9b, 10a, 10b, 10c, 10d, or all")
-		jobs = flag.Int64("jobs", 2_000_000, "simulated jobs per data point (paper uses 1e8)")
-		seed = flag.Uint64("seed", 1, "base RNG seed")
-		out  = flag.String("out", ".", "directory for CSV output")
+		fig     = flag.String("fig", "all", "figure to regenerate: 9a, 9b, 10a, 10b, 10c, 10d, or all")
+		jobs    = flag.Int64("jobs", 2_000_000, "simulated jobs per data point (paper uses 1e8)")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		out     = flag.String("out", ".", "directory for CSV output")
+		workers = flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS); output is identical for any value")
 	)
 	flag.Parse()
 
-	budget := figures.SimBudget{Jobs: *jobs, Seed: *seed}
+	budget := figures.SimBudget{Jobs: *jobs, Seed: *seed, Workers: *workers}
 	run := func(name string) error {
 		switch name {
 		case "9a", "9b":

@@ -20,17 +20,19 @@ import (
 	"time"
 
 	"finitelb"
+	"finitelb/internal/engine"
 	"finitelb/internal/plot"
 	"finitelb/internal/statespace"
 )
 
 func main() {
 	var (
-		mode = flag.String("mode", "accuracy", "accuracy | stability | tails")
-		n    = flag.Int("n", 3, "number of servers N")
-		d    = flag.Int("d", 2, "choices per arrival d")
-		rho  = flag.Float64("rho", 0.8, "utilization (accuracy and tails modes)")
-		tmax = flag.Int("tmax", 5, "largest threshold T to sweep")
+		mode    = flag.String("mode", "accuracy", "accuracy | stability | tails")
+		n       = flag.Int("n", 3, "number of servers N")
+		d       = flag.Int("d", 2, "choices per arrival d")
+		rho     = flag.Float64("rho", 0.8, "utilization (accuracy and tails modes)")
+		tmax    = flag.Int("tmax", 5, "largest threshold T to sweep")
+		workers = flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -40,7 +42,7 @@ func main() {
 			fatal(err)
 		}
 	case "stability":
-		if err := stability(*n, *d, *tmax); err != nil {
+		if err := stability(*n, *d, *tmax, *workers); err != nil {
 			fatal(err)
 		}
 	case "tails":
@@ -126,28 +128,47 @@ func accuracy(n, d int, rho float64, tmax int) error {
 }
 
 // stability locates, for each T, the largest utilization (on a 0.01 grid)
-// at which the upper-bound model is still stable.
-func stability(n, d, tmax int) error {
+// at which the upper-bound model is still stable. Every (T, ρ) cell is an
+// independent solve, so the whole grid goes through the engine pool and
+// the per-T frontiers are reduced from the deterministically ordered
+// results.
+func stability(n, d, tmax, workers int) error {
 	fmt.Printf("upper-bound stability frontier for SQ(%d), N=%d\n\n", d, n)
+	const steps = 99 // ρ ∈ {0.01, …, 0.99}
+	type cell struct {
+		t      int
+		rho    float64
+		stable bool
+	}
+	cells, err := engine.Collect(engine.New(workers), tmax*steps, func(i int) (cell, error) {
+		c := cell{t: 1 + i/steps, rho: float64(1+i%steps) / 100}
+		sys, err := finitelb.NewSystem(n, d, c.rho)
+		if err != nil {
+			return c, err
+		}
+		_, err = sys.UpperBound(c.t)
+		switch {
+		case err == nil:
+			c.stable = true
+			return c, nil
+		case errors.Is(err, finitelb.ErrUnstable):
+			return c, nil // the frontier is the last stable ρ
+		default:
+			return c, err
+		}
+	})
+	if err != nil {
+		return err
+	}
+	frontier := make([]float64, tmax+1)
+	for _, c := range cells {
+		if c.stable && c.rho > frontier[c.t] {
+			frontier[c.t] = c.rho
+		}
+	}
 	var rows [][]string
 	for t := 1; t <= tmax; t++ {
-		frontier := 0.0
-		for r := 0.01; r < 1; r += 0.01 {
-			sys, err := finitelb.NewSystem(n, d, r)
-			if err != nil {
-				return err
-			}
-			_, err = sys.UpperBound(t)
-			switch {
-			case err == nil:
-				frontier = r
-			case errors.Is(err, finitelb.ErrUnstable):
-				// keep scanning: the frontier is the last stable ρ
-			default:
-				return err
-			}
-		}
-		rows = append(rows, []string{fmt.Sprint(t), fmt.Sprintf("%.2f", frontier)})
+		rows = append(rows, []string{fmt.Sprint(t), fmt.Sprintf("%.2f", frontier[t])})
 	}
 	if err := plot.Table(os.Stdout, []string{"T", "max stable ρ"}, rows); err != nil {
 		return err

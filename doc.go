@@ -33,4 +33,24 @@
 // discrete-event simulator, and Mitzenmacher's asymptotic formula, so the
 // full evaluation of the paper (Figures 9 and 10) regenerates from this
 // API alone; see cmd/figures.
+//
+// # Parallel evaluation engine
+//
+// The evaluation pipeline is embarrassingly parallel: every (N, d, ρ, T)
+// grid cell of a figure panel or sweep is independent. internal/engine
+// provides the bounded worker pool (GOMAXPROCS-sized by default,
+// configurable) that fans cells out and merges results deterministically
+// in submission order, so output is bit-identical for any worker count;
+// internal/figures, cmd/figures (-workers), and cmd/sweep (-workers) all
+// submit their grids through it.
+//
+// The simulator parallelizes one level deeper: sim.Options.Replications
+// splits a measured-job budget across R independently seeded replications
+// (seeds derived from the master seed via a PCG stream) run concurrently
+// and merged into a single Result with pooled mean, variance, confidence
+// interval, and quantile histogram. R=1 — the default — is bit-identical
+// to the legacy serial stream; larger R is statistically equivalent.
+// Underneath, the dense matmul that dominates the QBD logarithmic
+// reduction is cache-blocked and allocation-free (mat.Dense.MulTo with
+// reused workspaces).
 package finitelb

@@ -163,6 +163,10 @@ type SimOptions struct {
 	Jobs   int64  // measured departures (default 1e6)
 	Warmup int64  // discarded leading departures (default Jobs/10)
 	Seed   uint64 // RNG seed (default 1)
+	// Replications splits the job budget across R independently seeded
+	// streams run concurrently and pooled into one estimate (default 1,
+	// the bit-exact serial path; each stream pays the full Warmup).
+	Replications int
 }
 
 // SimResult reports a simulation estimate.
@@ -180,7 +184,7 @@ type SimResult struct {
 // Simulate runs the discrete-event SQ(d) simulator (the paper's baseline;
 // its plots use 1e8 jobs per point — adjust Jobs for full fidelity).
 func (s *System) Simulate(opts SimOptions) (SimResult, error) {
-	res, err := sim.Run(s.p, sim.Options{Jobs: opts.Jobs, Warmup: opts.Warmup, Seed: opts.Seed})
+	res, err := sim.Run(s.p, sim.Options{Jobs: opts.Jobs, Warmup: opts.Warmup, Seed: opts.Seed, Replications: opts.Replications})
 	if err != nil {
 		return SimResult{}, fmt.Errorf("finitelb: simulate: %w", err)
 	}

@@ -1,0 +1,3 @@
+module finitelb
+
+go 1.22

@@ -1,0 +1,100 @@
+// Package engine provides the bounded worker pool that parallelizes the
+// evaluation pipeline: figure panels, parameter sweeps, and simulation
+// replications all consist of independent (N, d, ρ, T) grid cells whose
+// results must be assembled in a deterministic order. The pool fans the
+// cells out across up to GOMAXPROCS workers (configurable) and merges
+// results in submission order regardless of completion order, so a run
+// with W workers is bit-identical to a serial run as long as each cell is
+// itself deterministic (every caller seeds cells from their own
+// coordinates).
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool executes batches of independent, index-addressed jobs on a bounded
+// number of workers. The zero value is not useful; construct with New.
+// Pools are stateless between calls and safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers jobs concurrently. A
+// non-positive count selects GOMAXPROCS, the default for compute-bound
+// cells.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n) on the pool and waits for all
+// jobs to finish. Errors are collected per index and the one with the
+// lowest index is returned, so the reported error does not depend on
+// scheduling; jobs already started are not cancelled, matching the
+// all-cells-or-nothing semantics of a figure panel.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, exact submission order.
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return firstError(errs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect runs fn(i) for every i in [0, n) on the pool and returns the
+// results ordered by submission index. On error the partially filled slice
+// is returned alongside the lowest-index error.
+func Collect[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// cellValue is a deterministic stand-in for a grid-cell computation: the
+// value depends only on the cell's own coordinates, as every real caller
+// guarantees by seeding from coordinates.
+func cellValue(i int) float64 {
+	rng := rand.New(rand.NewPCG(uint64(i)+1, 77))
+	s := 0.0
+	for k := 0; k < 100; k++ {
+		s += rng.Float64()
+	}
+	return s
+}
+
+func TestCollectIdenticalAcrossWorkerCounts(t *testing.T) {
+	const n = 200
+	ref, err := Collect(New(1), n, func(i int) (float64, error) { return cellValue(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		got, err := Collect(New(w), n, func(i int) (float64, error) { return cellValue(i), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %v, serial gives %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 537
+	counts := make([]int32, n)
+	if err := New(0).ForEach(n, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Several jobs fail; the reported error must be the lowest-index one no
+	// matter which worker finishes first.
+	for _, w := range []int{1, 3, 8} {
+		err := New(w).ForEach(100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Errorf("workers=%d: err = %v, want lowest-index 'cell 3 failed'", w, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := New(4).ForEach(0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got < 1 {
+		t.Errorf("Workers() = %d for negative input", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Errorf("Workers() = %d, want 5", got)
+	}
+}
+
+func TestCollectPropagatesError(t *testing.T) {
+	out, err := Collect(New(4), 10, func(i int) (int, error) {
+		if i == 6 {
+			return 0, errors.New("boom")
+		}
+		return i * i, nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	if len(out) != 10 {
+		t.Fatalf("partial results length %d", len(out))
+	}
+	if out[2] != 4 {
+		t.Errorf("successful cells must still be filled: out[2] = %d", out[2])
+	}
+}

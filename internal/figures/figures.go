@@ -9,52 +9,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"finitelb/internal/asym"
+	"finitelb/internal/engine"
 	"finitelb/internal/plot"
 	"finitelb/internal/qbd"
 	"finitelb/internal/sim"
 	"finitelb/internal/sqd"
 )
-
-// forEach runs fn(i) for i in [0, n) on up to GOMAXPROCS workers and
-// returns the first error. Every figure point is seeded deterministically
-// from its own coordinates, so parallel execution is reproducible.
-func forEach(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
-}
 
 // SimBudget controls the simulation fidelity of the figure runs. The paper
 // simulates 1e8 jobs per point and discards the first 1e7; that takes hours
@@ -63,6 +25,11 @@ func forEach(n int, fn func(i int) error) error {
 type SimBudget struct {
 	Jobs int64
 	Seed uint64
+	// Workers bounds the number of grid cells evaluated concurrently by
+	// the engine pool; 0 selects GOMAXPROCS. Every cell is seeded from its
+	// own coordinates, so the assembled series are identical for any
+	// worker count.
+	Workers int
 }
 
 func (b *SimBudget) setDefaults() {
@@ -73,6 +40,9 @@ func (b *SimBudget) setDefaults() {
 		b.Seed = 1
 	}
 }
+
+// pool returns the engine pool the panel's grid cells run on.
+func (b SimBudget) pool() *engine.Pool { return engine.New(b.Workers) }
 
 // Fig9Config describes one panel of Figure 9.
 type Fig9Config struct {
@@ -100,8 +70,8 @@ func Fig9(cfg Fig9Config, budget SimBudget) (*plot.Chart, error) {
 		XLabel: "number of servers N",
 		YLabel: "relative error (%)",
 	}
-	// Enumerate the (d, N) grid, simulate the points in parallel with
-	// per-point deterministic seeds, then assemble series in grid order.
+	// Enumerate the (d, N) grid, submit the cells to the engine pool with
+	// per-cell deterministic seeds, then assemble series in grid order.
 	type point struct {
 		d, n   int
 		relErr float64
@@ -114,7 +84,7 @@ func Fig9(cfg Fig9Config, budget SimBudget) (*plot.Chart, error) {
 			}
 		}
 	}
-	err := forEach(len(pts), func(i int) error {
+	err := budget.pool().ForEach(len(pts), func(i int) error {
 		p := &pts[i]
 		res, err := sim.Run(sqd.Params{N: p.n, D: p.d, Rho: cfg.Rho}, sim.Options{
 			Jobs: budget.Jobs,
@@ -176,7 +146,7 @@ type Fig10Point struct {
 func Fig10(cfg Fig10Config, budget SimBudget) ([]Fig10Point, *plot.Chart, error) {
 	budget.setDefaults()
 	points := make([]Fig10Point, len(cfg.Rhos))
-	err := forEach(len(cfg.Rhos), func(i int) error {
+	err := budget.pool().ForEach(len(cfg.Rhos), func(i int) error {
 		rho := cfg.Rhos[i]
 		bp := sqd.BoundParams{Params: sqd.Params{N: cfg.N, D: cfg.D, Rho: rho}, T: cfg.T}
 		pt := Fig10Point{Rho: rho, Asymptotic: asym.Delay(cfg.D, rho)}

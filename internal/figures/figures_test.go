@@ -3,8 +3,12 @@ package figures
 import (
 	"bytes"
 	"math"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
+
+	"finitelb/internal/plot"
 )
 
 // tinyBudget keeps figure tests fast; statistical assertions are loose
@@ -97,5 +101,50 @@ func TestDefaultConfigs(t *testing.T) {
 	f10 := DefaultFig10(12, 3)
 	if f10.N != 12 || f10.D != 2 || f10.T != 3 || len(f10.Rhos) != 19 {
 		t.Errorf("DefaultFig10 = %+v", f10)
+	}
+}
+
+// TestFigSeriesIdenticalAcrossWorkerCounts: every cell is seeded from its
+// own coordinates, so the assembled series must be bit-identical whether
+// the engine pool runs 1, 2, or GOMAXPROCS workers.
+func TestFigSeriesIdenticalAcrossWorkerCounts(t *testing.T) {
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+
+	f9 := Fig9Config{Rho: 0.75, Ds: []int{2, 5}, Ns: []int{5, 20}}
+	var ref9 *plot.Chart
+	for _, w := range workerCounts {
+		budget := tinyBudget
+		budget.Workers = w
+		chart, err := Fig9(f9, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref9 == nil {
+			ref9 = chart
+			continue
+		}
+		for si, s := range chart.Series {
+			if !reflect.DeepEqual(s, ref9.Series[si]) {
+				t.Errorf("Fig9 workers=%d: series %q differs from serial run", w, s.Name)
+			}
+		}
+	}
+
+	f10 := Fig10Config{N: 3, D: 2, T: 3, Rhos: []float64{0.4, 0.7, 0.9}}
+	var ref10 []Fig10Point
+	for _, w := range workerCounts {
+		budget := tinyBudget
+		budget.Workers = w
+		points, _, err := Fig10(f10, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref10 == nil {
+			ref10 = points
+			continue
+		}
+		if !reflect.DeepEqual(points, ref10) {
+			t.Errorf("Fig10 workers=%d: points differ from serial run", w)
+		}
 	}
 }

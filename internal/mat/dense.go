@@ -82,6 +82,33 @@ func (m *Dense) Clone() *Dense {
 	return c
 }
 
+// CopyFrom overwrites m with the contents of b (shapes must match).
+func (m *Dense) CopyFrom(b *Dense) {
+	m.sameShape(b)
+	copy(m.data, b.data)
+}
+
+// SetIdentity overwrites a square m with the identity matrix.
+func (m *Dense) SetIdentity() {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("mat: SetIdentity on %d×%d", m.rows, m.cols))
+	}
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] = 1
+	}
+}
+
+// AddScaled updates m in place to m + s·b.
+func (m *Dense) AddScaled(b *Dense, s float64) {
+	m.sameShape(b)
+	for i, v := range b.data {
+		m.data[i] += s * v
+	}
+}
+
 // Add returns m + b as a new matrix.
 func (m *Dense) Add(b *Dense) *Dense {
 	m.sameShape(b)
@@ -113,25 +140,61 @@ func (m *Dense) Scale(s float64) *Dense {
 
 // Mul returns the matrix product m·b as a new matrix.
 func (m *Dense) Mul(b *Dense) *Dense {
+	c := NewDense(m.rows, b.cols)
+	m.MulTo(c, b)
+	return c
+}
+
+// Matmul tile sizes: a kBlock×jBlock tile of b (64×512 float64s = 256 KiB)
+// stays resident in L2 while every row of m streams against it.
+const (
+	mulKBlock = 64
+	mulJBlock = 512
+)
+
+// MulTo computes the matrix product m·b into dst, which must be a
+// preallocated m.Rows()×b.Cols() matrix distinct from m and b; dst's prior
+// contents are overwritten. Hot solvers (the QBD logarithmic reduction)
+// call this with reused workspaces to avoid per-iteration allocation.
+//
+// The inner loops are cache-blocked: the k (depth) and j (column)
+// dimensions are tiled so each tile of b is loaded into cache once and
+// reused across all rows of m, instead of being streamed from memory for
+// every row as the naive ikj order does on large operands.
+func (m *Dense) MulTo(dst, b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("mat: dimension mismatch %d×%d · %d×%d", m.rows, m.cols, b.rows, b.cols))
 	}
-	c := NewDense(m.rows, b.cols)
-	// ikj loop order: streams through b and c rows for cache friendliness.
-	for i := 0; i < m.rows; i++ {
-		ci := c.data[i*c.cols : (i+1)*c.cols]
-		for k := 0; k < m.cols; k++ {
-			a := m.data[i*m.cols+k]
-			if a == 0 {
-				continue
-			}
-			bk := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range bk {
-				ci[j] += a * bv
+	if dst == m || dst == b {
+		panic("mat: MulTo destination aliases an operand")
+	}
+	if dst.rows != m.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTo destination %d×%d, want %d×%d", dst.rows, dst.cols, m.rows, b.cols))
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for kk := 0; kk < m.cols; kk += mulKBlock {
+		kend := min(kk+mulKBlock, m.cols)
+		for jj := 0; jj < b.cols; jj += mulJBlock {
+			jend := min(jj+mulJBlock, b.cols)
+			for i := 0; i < m.rows; i++ {
+				ci := dst.data[i*dst.cols+jj : i*dst.cols+jend]
+				mi := m.data[i*m.cols : (i+1)*m.cols]
+				for k := kk; k < kend; k++ {
+					a := mi[k]
+					if a == 0 {
+						continue
+					}
+					bk := b.data[k*b.cols+jj : k*b.cols+jend]
+					for j, bv := range bk {
+						ci[j] += a * bv
+					}
+				}
 			}
 		}
 	}
-	return c
+	return dst
 }
 
 // MulVec returns the matrix-vector product m·x.

@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -348,4 +349,113 @@ func randomDiagDominant(rng *rand.Rand, n int) *Dense {
 		m.Set(i, i, m.At(i, i)+float64(n)+1)
 	}
 	return m
+}
+
+// mulNaive is the straightforward triple loop, the reference the blocked
+// MulTo must agree with exactly on zero-free inputs (identical operation
+// order per output element is not guaranteed, hence the tolerance below).
+func mulNaive(a, b *Dense) *Dense {
+	c := NewDense(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			var s float64
+			for k := 0; k < a.Cols(); k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// TestMulToBlockedMatchesNaive checks the cache-blocked product against the
+// naive reference on random matrices spanning the tile boundaries (sizes
+// below, at, and above the 64/512 block edges).
+func TestMulToBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	for _, dims := range [][3]int{
+		{1, 1, 1}, {3, 5, 2}, {17, 9, 31},
+		{63, 64, 65}, {64, 64, 64}, {65, 130, 64},
+		{70, 600, 9}, {5, 64, 520},
+	} {
+		a := randomDense(rng, dims[0], dims[1])
+		b := randomDense(rng, dims[1], dims[2])
+		want := mulNaive(a, b)
+		got := NewDense(dims[0], dims[2])
+		// Pre-dirty the destination: MulTo must overwrite, not accumulate.
+		for i := range got.data {
+			got.data[i] = 99
+		}
+		a.MulTo(got, b)
+		tol := 1e-12 * float64(dims[1]) * (1 + want.MaxAbs())
+		if !got.AlmostEqual(want, tol) {
+			t.Errorf("%v: blocked MulTo disagrees with naive product", dims)
+		}
+		if alloc := a.Mul(b); !alloc.AlmostEqual(want, tol) {
+			t.Errorf("%v: Mul disagrees with naive product", dims)
+		}
+	}
+}
+
+func TestMulToPanicsOnAliasAndShape(t *testing.T) {
+	a := Identity(3)
+	b := Identity(3)
+	for name, fn := range map[string]func(){
+		"dst aliases left":  func() { a.MulTo(a, b) },
+		"dst aliases right": func() { a.MulTo(b, b) },
+		"wrong dst shape":   func() { a.MulTo(NewDense(2, 3), b) },
+		"inner mismatch":    func() { a.MulTo(NewDense(3, 2), NewDense(4, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestInPlaceHelpers(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{10, 20}, {30, 40}})
+	m.AddScaled(b, 0.5)
+	if !m.AlmostEqual(NewDenseFrom([][]float64{{6, 12}, {18, 24}}), 0) {
+		t.Errorf("AddScaled: got %v", m)
+	}
+	m.CopyFrom(b)
+	if !m.AlmostEqual(b, 0) {
+		t.Errorf("CopyFrom: got %v", m)
+	}
+	m.SetIdentity()
+	if !m.AlmostEqual(Identity(2), 0) {
+		t.Errorf("SetIdentity: got %v", m)
+	}
+}
+
+// BenchmarkMulTo tracks the blocked product at the QBD block sizes that
+// dominate the figure solves (56 = Fig 10c, 364 = Fig 10d).
+func BenchmarkMulTo(b *testing.B) {
+	for _, n := range []int{56, 364} {
+		rng := rand.New(rand.NewPCG(1, 1))
+		a := randomDense(rng, n, n)
+		c := randomDense(rng, n, n)
+		dst := NewDense(n, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.MulTo(dst, c)
+			}
+		})
+	}
 }

@@ -34,7 +34,14 @@ func LogReduction(a0, a1, a2 *mat.Dense, tol float64) (*mat.Dense, int, error) {
 
 	g := b2.Clone()      // Σ so far
 	prefix := b1.Clone() // Π_{i<k} B1,i
-	const maxIter = 64   // quadratic convergence: 64 doublings is beyond any sane model
+	// Dense m×m products dominate the solve; reuse two product workspaces
+	// and the denominator across iterations instead of allocating six
+	// matrices per step (Factorize clones its input, so den is reusable).
+	wsA := mat.NewDense(m, m)
+	wsB := mat.NewDense(m, m)
+	den := mat.NewDense(m, m)
+	newPrefix := mat.NewDense(m, m)
+	const maxIter = 64 // quadratic convergence: 64 doublings is beyond any sane model
 	for k := 1; k <= maxIter; k++ {
 		// Convergence: G row sums reach 1.
 		worst := 0.0
@@ -46,15 +53,22 @@ func LogReduction(a0, a1, a2 *mat.Dense, tol float64) (*mat.Dense, int, error) {
 		if worst < tol {
 			return g, k, nil
 		}
-		den := mat.Identity(m).Sub(b1.Mul(b2)).Sub(b2.Mul(b1))
+		// den = I − B1·B2 − B2·B1
+		b1.MulTo(wsA, b2)
+		b2.MulTo(wsB, b1)
+		den.SetIdentity()
+		den.AddScaled(wsA, -1)
+		den.AddScaled(wsB, -1)
 		f, err := mat.Factorize(den)
 		if err != nil {
 			return nil, k, fmt.Errorf("qbd: logarithmic reduction step %d singular: %w", k, err)
 		}
-		b1n := f.SolveMat(b1.Mul(b1))
-		b2n := f.SolveMat(b2.Mul(b2))
-		g = g.Add(prefix.Mul(b2n))
-		prefix = prefix.Mul(b1n)
+		b1n := f.SolveMat(b1.MulTo(wsA, b1))
+		b2n := f.SolveMat(b2.MulTo(wsB, b2))
+		prefix.MulTo(wsA, b2n)
+		g.AddScaled(wsA, 1)
+		prefix.MulTo(newPrefix, b1n)
+		prefix, newPrefix = newPrefix, prefix
 		b1, b2 = b1n, b2n
 	}
 	return nil, maxIter, fmt.Errorf("qbd: logarithmic reduction: %w", mat.ErrNoConverge)

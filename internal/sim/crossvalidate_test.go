@@ -9,7 +9,7 @@ import (
 	"finitelb/internal/statespace"
 )
 
-// TestCTMCTrajectoryMatchesQBD is DESIGN.md's validation point 8: running
+// TestCTMCTrajectoryMatchesQBD checks the pipeline end to end: running
 // the *bound models themselves* as jump chains must reproduce the
 // matrix-geometric stationary delays — an end-to-end check that the QBD
 // assembly, the logarithmic reduction, and the boundary solve describe the

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"finitelb/internal/engine"
 	"finitelb/internal/sqd"
 	"finitelb/internal/stats"
 )
@@ -22,6 +23,15 @@ type Options struct {
 	Seed   uint64 // RNG seed (default 1)
 	// BatchSize for batch-means confidence intervals; default Jobs/200.
 	BatchSize int64
+	// Replications splits the measured-job budget across R independently
+	// seeded replications executed concurrently and merged into one Result
+	// with pooled moments. Each replication pays the full Warmup, so the
+	// total simulated work is Jobs + R·Warmup. The default 1 runs the
+	// legacy single stream and is bit-identical to it; larger values are
+	// statistically equivalent, not bit-identical.
+	Replications int
+	// Workers bounds the replication concurrency; default GOMAXPROCS.
+	Workers int
 }
 
 func (o *Options) setDefaults() {
@@ -39,6 +49,9 @@ func (o *Options) setDefaults() {
 		if o.BatchSize < 1 {
 			o.BatchSize = 1
 		}
+	}
+	if o.Replications <= 0 {
+		o.Replications = 1
 	}
 }
 
@@ -143,18 +156,87 @@ func (h *heapTracker) update(id int, t float64) {
 
 func (h *heapTracker) min() (float64, int) { return h.times[0], h.ids[0] }
 
+// stream holds the raw accumulators of one simulated sojourn stream,
+// mergeable across replications.
+type stream struct {
+	sojourns stats.Welford
+	batch    *stats.BatchMeans
+	hist     *stats.Histogram
+	maxQueue int
+}
+
+// result converts merged accumulators into the public Result.
+func (s *stream) result() Result {
+	return Result{
+		MeanDelay: s.sojourns.Mean(),
+		MeanWait:  s.sojourns.Mean() - 1,
+		HalfWidth: s.batch.HalfWidth(),
+		Jobs:      s.sojourns.N(),
+		MaxQueue:  s.maxQueue,
+		P50:       s.hist.Quantile(0.50),
+		P95:       s.hist.Quantile(0.95),
+		P99:       s.hist.Quantile(0.99),
+	}
+}
+
+// merge folds another replication's accumulators into s.
+func (s *stream) merge(o *stream) {
+	s.sojourns.Merge(o.sojourns)
+	s.batch.Merge(o.batch)
+	s.hist.Merge(o.hist)
+	if o.maxQueue > s.maxQueue {
+		s.maxQueue = o.maxQueue
+	}
+}
+
 // Run simulates the SQ(d) dispatcher: Poisson arrivals of rate ρN hit a
 // central dispatcher that samples d distinct servers uniformly (without
 // replacement) and queues the job at the sampled server with the fewest
 // jobs, ties broken uniformly; servers serve FIFO with exponential
 // unit-mean times. The first Warmup departures are discarded, then the
 // sojourn times of Jobs departures are averaged.
+//
+// With opts.Replications = R > 1 the measured-job budget is split across R
+// independently seeded streams (seeds derived from opts.Seed via its own
+// PCG stream) executed concurrently through the engine pool; their moments
+// are pooled into one Result.
 func Run(p sqd.Params, opts Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	opts.setDefaults()
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x5bd1e995))
+	if opts.Replications == 1 {
+		s := runStream(p, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed)
+		return s.result(), nil
+	}
+
+	r := int64(opts.Replications)
+	// Derive one independent seed per replication from the master seed.
+	seedRNG := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+	seeds := make([]uint64, r)
+	for i := range seeds {
+		seeds[i] = seedRNG.Uint64()
+	}
+	streams, err := engine.Collect(engine.New(opts.Workers), int(r), func(i int) (*stream, error) {
+		jobs := opts.Jobs / r
+		if int64(i) < opts.Jobs%r {
+			jobs++
+		}
+		return runStream(p, jobs, opts.Warmup, opts.BatchSize, seeds[i]), nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	merged := streams[0]
+	for _, s := range streams[1:] {
+		merged.merge(s)
+	}
+	return merged.result(), nil
+}
+
+// runStream runs one discrete-event stream: the original serial simulator.
+func runStream(p sqd.Params, jobs, warmup, batchSize int64, seed uint64) *stream {
+	rng := rand.New(rand.NewPCG(seed, 0x5bd1e995))
 
 	servers := make([]server, p.N)
 	for i := range servers {
@@ -173,13 +255,13 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 
 	lamN := p.TotalArrivalRate()
 	nextArrival := rng.ExpFloat64() / lamN
-	batch := stats.NewBatchMeans(opts.BatchSize)
-	hist := stats.NewHistogram(0.02, 25_000) // covers sojourns up to 500 service times
-	var sojourns stats.Welford
-	var res Result
+	res := &stream{
+		batch: stats.NewBatchMeans(batchSize),
+		hist:  stats.NewHistogram(0.02, 25_000), // covers sojourns up to 500 service times
+	}
 	var departed int64
 
-	for sojourns.N() < opts.Jobs {
+	for res.sojourns.N() < jobs {
 		minC, minI := trk.min()
 		if nextArrival <= minC {
 			now := nextArrival
@@ -207,8 +289,8 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 				sv.completion = now + rng.ExpFloat64()
 				trk.update(best, sv.completion)
 			}
-			if sv.length() > res.MaxQueue {
-				res.MaxQueue = sv.length()
+			if sv.length() > res.maxQueue {
+				res.maxQueue = sv.length()
 			}
 			continue
 		}
@@ -222,20 +304,12 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 		}
 		trk.update(minI, sv.completion)
 		departed++
-		if departed > opts.Warmup {
+		if departed > warmup {
 			sojourn := now - arrivedAt
-			batch.Add(sojourn)
-			sojourns.Add(sojourn)
-			hist.Add(sojourn)
+			res.batch.Add(sojourn)
+			res.sojourns.Add(sojourn)
+			res.hist.Add(sojourn)
 		}
 	}
-
-	res.MeanDelay = sojourns.Mean()
-	res.MeanWait = sojourns.Mean() - 1
-	res.HalfWidth = batch.HalfWidth()
-	res.Jobs = sojourns.N()
-	res.P50 = hist.Quantile(0.50)
-	res.P95 = hist.Quantile(0.95)
-	res.P99 = hist.Quantile(0.99)
-	return res, nil
+	return res
 }

@@ -107,6 +107,9 @@ func TestRunCTMCBoundModelsBracket(t *testing.T) {
 	bp := sqd.BoundParams{Params: sqd.Params{N: 3, D: 2, Rho: 0.8}, T: 2}
 	start := statespace.MustState(0, 0, 0)
 	opts := CTMCOptions{Events: 2_000_000, Seed: 13}
+	if testing.Short() {
+		opts.Events = 500_000 // the 3% slack absorbs the extra noise at N=3
+	}
 	lb := RunCTMC(&sqd.LowerBound{P: bp}, start, opts)
 	ex := RunCTMC(&sqd.Exact{P: bp.Params}, start, opts)
 	ub := RunCTMC(&sqd.UpperBound{P: bp}, start, opts)
@@ -116,5 +119,93 @@ func TestRunCTMCBoundModelsBracket(t *testing.T) {
 	}
 	if !(ub.MeanDelay >= ex.MeanDelay-slack) {
 		t.Errorf("simulated UB %v below exact %v", ub.MeanDelay, ex.MeanDelay)
+	}
+}
+
+// TestRunReplicationsDefaultIsSingleStream: R=1 (or unset) must be
+// bit-identical to the legacy serial simulator.
+func TestRunReplicationsDefaultIsSingleStream(t *testing.T) {
+	p := sqd.Params{N: 4, D: 2, Rho: 0.7}
+	legacy, err := Run(p, Options{Jobs: 50_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Run(p, Options{Jobs: 50_000, Seed: 9, Replications: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != one {
+		t.Errorf("Replications=1 diverges from default:\n%+v\n%+v", one, legacy)
+	}
+}
+
+// TestRunReplicationsDeterministic: for fixed R the merged result must not
+// depend on the worker count or on scheduling.
+func TestRunReplicationsDeterministic(t *testing.T) {
+	p := sqd.Params{N: 4, D: 2, Rho: 0.7}
+	opts := Options{Jobs: 80_000, Seed: 9, Replications: 4}
+	a, err := Run(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 0} {
+		o := opts
+		o.Workers = w
+		b, err := Run(p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("workers=%d: merged result differs:\n%+v\n%+v", w, a, b)
+		}
+	}
+}
+
+// TestRunReplicationsMatchSingleRunMoments: splitting the budget across
+// replications is statistically equivalent to one long stream — the pooled
+// mean must agree with the single-stream mean within the joint confidence
+// intervals, on a system with a known mean (M/M/1).
+func TestRunReplicationsMatchSingleRunMoments(t *testing.T) {
+	p := sqd.Params{N: 1, D: 1, Rho: 0.7}
+	single, err := Run(p, Options{Jobs: 400_000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Run(p, Options{Jobs: 400_000, Seed: 21, Replications: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Jobs != single.Jobs {
+		t.Fatalf("merged jobs %d, want %d", merged.Jobs, single.Jobs)
+	}
+	want := 1 / (1 - p.Rho)
+	for name, r := range map[string]Result{"single": single, "merged": merged} {
+		if math.Abs(r.MeanDelay-want) > 5*r.HalfWidth+0.02*want {
+			t.Errorf("%s: delay %v, want %v (CI ±%v)", name, r.MeanDelay, want, r.HalfWidth)
+		}
+		if !(r.HalfWidth > 0) {
+			t.Errorf("%s: degenerate half-width %v", name, r.HalfWidth)
+		}
+	}
+	if math.Abs(merged.MeanDelay-single.MeanDelay) > 5*(merged.HalfWidth+single.HalfWidth) {
+		t.Errorf("merged delay %v too far from single-stream %v", merged.MeanDelay, single.MeanDelay)
+	}
+	// Quantiles pool through the merged histogram; P50 of M/M/1 sojourn is
+	// ln(2)/(1−ρ) ≈ 2.31.
+	if wantP50 := math.Ln2 / (1 - p.Rho); math.Abs(merged.P50-wantP50) > 0.05*wantP50 {
+		t.Errorf("merged P50 %v, want ≈ %v", merged.P50, wantP50)
+	}
+}
+
+// TestRunReplicationsUnevenBudget: the job budget must divide across R
+// with the remainder spread one job at a time.
+func TestRunReplicationsUnevenBudget(t *testing.T) {
+	p := sqd.Params{N: 2, D: 1, Rho: 0.5}
+	res, err := Run(p, Options{Jobs: 10_003, Seed: 2, Replications: 4, BatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 10_003 {
+		t.Errorf("measured %d jobs, want 10003", res.Jobs)
 	}
 }

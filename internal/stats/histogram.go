@@ -44,6 +44,23 @@ func (h *Histogram) Add(x float64) {
 	h.bins[i]++
 }
 
+// Merge folds another histogram into h. Both must have identical width and
+// bin count (as histograms built from the same configuration do).
+func (h *Histogram) Merge(o *Histogram) {
+	if o.width != h.width || len(o.bins) != len(h.bins) {
+		panic(fmt.Sprintf("stats: merging mismatched histograms %v×%d and %v×%d",
+			h.width, len(h.bins), o.width, len(o.bins)))
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.overflow += o.overflow
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.n }
 

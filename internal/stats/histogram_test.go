@@ -99,3 +99,39 @@ func TestHistogramEmpty(t *testing.T) {
 		t.Error("empty histogram should return zeros")
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	whole := NewHistogram(0.1, 50)
+	a, b := NewHistogram(0.1, 50), NewHistogram(0.1, 50)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 20_000; i++ {
+		x := rng.ExpFloat64()
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if a.Max() != whole.Max() {
+		t.Errorf("merged max %v, want %v", a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("merged quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if got, want := a.Tail(2), whole.Tail(2); got != want {
+		t.Errorf("merged tail(2) = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched widths did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(0.2, 50))
+}

@@ -24,6 +24,24 @@ func (w *Welford) Add(x float64) {
 	w.m2 += delta * (x - w.mean)
 }
 
+// Merge folds another accumulator into w, as if w had also seen every
+// observation recorded by o (Chan et al.'s parallel update). Used to pool
+// moments across concurrently executed simulation replications.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int64 { return w.n }
 
@@ -67,6 +85,20 @@ func (b *BatchMeans) Add(x float64) {
 		b.batches.Add(b.cur.Mean())
 		b.cur = Welford{}
 	}
+}
+
+// Merge folds the completed batches of another accumulator into b. Batch
+// means from independently seeded replications are independent draws of
+// the same batch-mean distribution, so pooling them tightens the interval
+// exactly as more batches from a single stream would. Each accumulator's
+// partial trailing batch is discarded, as it is in a single-stream run.
+// Batch sizes must match for the pooled batches to be identically
+// distributed.
+func (b *BatchMeans) Merge(o *BatchMeans) {
+	if o.batchSize != b.batchSize {
+		panic(fmt.Sprintf("stats: merging batch sizes %d and %d", b.batchSize, o.batchSize))
+	}
+	b.batches.Merge(o.batches)
 }
 
 // Batches returns the number of completed batches.

@@ -101,3 +101,59 @@ func TestBatchMeansInvalidSize(t *testing.T) {
 	}()
 	NewBatchMeans(0)
 }
+
+// TestWelfordMergeMatchesSingleStream: merging split accumulators must
+// reproduce the moments of one accumulator that saw every observation.
+func TestWelfordMergeMatchesSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	xs := make([]float64, 10_001)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 137, 5000, len(xs)} {
+		var a, b Welford
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("cut %d: N = %d, want %d", cut, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+			t.Errorf("cut %d: mean %v vs %v", cut, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Variance()-whole.Variance()) > 1e-10 {
+			t.Errorf("cut %d: variance %v vs %v", cut, a.Variance(), whole.Variance())
+		}
+	}
+}
+
+func TestBatchMeansMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	a, b := NewBatchMeans(100), NewBatchMeans(100)
+	for i := 0; i < 5_000; i++ {
+		a.Add(rng.Float64())
+		b.Add(rng.Float64())
+	}
+	na, nb := a.Batches(), b.Batches()
+	a.Merge(b)
+	if a.Batches() != na+nb {
+		t.Errorf("merged batches = %d, want %d", a.Batches(), na+nb)
+	}
+	if h := a.HalfWidth(); !(h > 0) || math.IsInf(h, 1) {
+		t.Errorf("merged half-width %v", h)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched batch sizes did not panic")
+		}
+	}()
+	a.Merge(NewBatchMeans(50))
+}
