@@ -2,37 +2,55 @@
 // accuracy/complexity trade-off of the upper bound in T (Section V's first
 // observation), the stability frontier of the upper-bound model, and —
 // beyond the paper's means — the finite-N occupancy tails against
-// Mitzenmacher's asymptotic fixed point.
+// Mitzenmacher's asymptotic fixed point, plus a simulation sweep over the
+// pluggable workload/policy grid that the analytic models cannot reach.
 //
 // Usage:
 //
 //	sweep -mode accuracy -n 3 -d 2 -rho 0.8 -tmax 6
 //	sweep -mode stability -n 3 -d 2 -tmax 5
 //	sweep -mode tails -n 3 -d 2 -rho 0.9
+//	sweep -mode sim -n 10 -d 2 -rhos 0.7,0.9 -policies sqd,jsq,jiq,rr,random \
+//	      -arrival hyperexp:cv2=4 -service pareto:alpha=1.5 -jobs 1e6
+//
+// The sim mode emits CSV (deterministic for a fixed seed, bit-identical
+// for any -workers count thanks to the engine's submission-order merge).
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"finitelb"
 	"finitelb/internal/engine"
 	"finitelb/internal/plot"
 	"finitelb/internal/statespace"
+	"finitelb/internal/workload"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "accuracy", "accuracy | stability | tails")
+		mode    = flag.String("mode", "accuracy", "accuracy | stability | tails | sim")
 		n       = flag.Int("n", 3, "number of servers N")
 		d       = flag.Int("d", 2, "choices per arrival d")
 		rho     = flag.Float64("rho", 0.8, "utilization (accuracy and tails modes)")
 		tmax    = flag.Int("tmax", 5, "largest threshold T to sweep")
 		workers = flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS)")
+
+		rhos     = flag.String("rhos", "", "comma list of utilizations (sim mode; default -rho)")
+		policies = flag.String("policies", "sqd,jsq,jiq,rr,random", "comma list of dispatch policies (sim mode)")
+		arrival  = flag.String("arrival", "poisson", "arrival process: poisson | deterministic | erlang:K | hyperexp:CV2")
+		service  = flag.String("service", "exponential", "service law: exponential | deterministic | erlang:K | pareto:ALPHA[,h=H]")
+		speeds   = flag.String("speeds", "", "per-server speed factors, e.g. 1x8,4x2 (sim mode; empty = homogeneous)")
+		jobs     = flag.Float64("jobs", 200_000, "measured jobs per sim cell")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 
@@ -49,9 +67,134 @@ func main() {
 		if err := tails(*n, *d, *rho); err != nil {
 			fatal(err)
 		}
+	case "sim":
+		cfg := simCfg{
+			n: *n, d: *d,
+			rhos:     *rhos,
+			policies: *policies,
+			arrival:  *arrival,
+			service:  *service,
+			speeds:   *speeds,
+			jobs:     int64(*jobs),
+			seed:     *seed,
+			workers:  *workers,
+		}
+		if cfg.rhos == "" {
+			cfg.rhos = strconv.FormatFloat(*rho, 'g', -1, 64)
+		}
+		if err := simSweep(os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// simCfg is the sim-mode grid: every policy at every utilization, one
+// workload, fixed seed.
+type simCfg struct {
+	n, d             int
+	rhos             string // comma list
+	policies         string // comma list
+	arrival, service string
+	speeds           string
+	jobs             int64
+	seed             uint64
+	workers          int
+}
+
+// simSweep runs the policy × utilization grid through the engine pool and
+// writes one CSV row per cell. Rows come out in submission order and every
+// cell is seeded from the fixed -seed, so output is bit-identical for any
+// worker count — the guarantee the golden-file test pins.
+func simSweep(out io.Writer, cfg simCfg) error {
+	// Validate the whole configuration before submitting anything: the
+	// engine pool does not cancel jobs already started, so a bad spec
+	// discovered per-cell would burn the full grid's simulation budget
+	// first. After this block the only per-cell failures left are
+	// impossible-by-construction.
+	if cfg.jobs < 1 || cfg.jobs > 1e15 {
+		return fmt.Errorf("-jobs %d outside [1, 1e15]", cfg.jobs)
+	}
+	pols := strings.Split(cfg.policies, ",")
+	for i, p := range pols {
+		pols[i] = strings.TrimSpace(p)
+		if pols[i] == "" {
+			return fmt.Errorf("empty entry in -policies %q", cfg.policies)
+		}
+		pol, err := workload.ParsePolicy(pols[i])
+		if err != nil {
+			return err
+		}
+		if sq, ok := pol.(workload.SQD); ok && sq.D == 0 {
+			pol = workload.SQD{D: cfg.d} // "sqd" inherits -d, as Simulate will resolve it
+		}
+		if pol != nil {
+			if _, err := pol.NewPicker(cfg.n); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := workload.ParseArrival(cfg.arrival); err != nil {
+		return err
+	}
+	if _, err := workload.ParseService(cfg.service); err != nil {
+		return err
+	}
+	if _, err := workload.ParseSpeeds(cfg.speeds, cfg.n); err != nil {
+		return err
+	}
+	var rhoVals []float64
+	for _, s := range strings.Split(cfg.rhos, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad -rhos entry %q", s)
+		}
+		if _, err := finitelb.NewSystem(cfg.n, cfg.d, v); err != nil {
+			return err
+		}
+		rhoVals = append(rhoVals, v)
+	}
+	type cell struct {
+		policy string
+		rho    float64
+		res    finitelb.SimResult
+	}
+	cells, err := engine.Collect(engine.New(cfg.workers), len(pols)*len(rhoVals), func(i int) (cell, error) {
+		c := cell{policy: pols[i/len(rhoVals)], rho: rhoVals[i%len(rhoVals)]}
+		sys, err := finitelb.NewSystem(cfg.n, cfg.d, c.rho)
+		if err != nil {
+			return c, err
+		}
+		c.res, err = sys.Simulate(finitelb.SimOptions{
+			Jobs: cfg.jobs, Seed: cfg.seed,
+			Arrival: cfg.arrival, Service: cfg.service, Policy: c.policy, Speeds: cfg.speeds,
+		})
+		return c, err
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, "policy,arrival,service,n,d,rho,jobs,seed,mean_delay,half_width,p50,p95,p99,max_queue"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if _, err := fmt.Fprintf(out, "%s,%s,%s,%d,%d,%g,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d\n",
+			csvField(c.policy), csvField(cfg.arrival), csvField(cfg.service), cfg.n, cfg.d, c.rho, cfg.jobs, cfg.seed,
+			c.res.MeanDelay, c.res.HalfWidth, c.res.P50, c.res.P95, c.res.P99, c.res.MaxQueue); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvField quotes a spec string per RFC 4180 when it contains CSV
+// metacharacters — "pareto:alpha=1.5,h=100" must stay one column.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
 }
 
 // tails compares the finite-N server-occupancy tail (exact solve) with

@@ -53,4 +53,44 @@
 // Underneath, the dense matmul that dominates the QBD logarithmic
 // reduction is cache-blocked and allocation-free (mat.Dense.MulTo with
 // reused workspaces).
+//
+// # Pluggable workloads and policies
+//
+// The analytic machinery covers exactly one scenario — Poisson arrivals,
+// exponential unit-rate homogeneous servers, SQ(d) dispatch. The
+// simulator goes beyond it: internal/workload plugs arrival processes,
+// unit-mean service-time laws, per-server speed factors, and dispatch
+// policies into the event loop, selected through spec strings on
+// SimOptions (Arrival, Service, Policy, Speeds) and the matching
+// cmd/sweep flags (-mode sim -arrival -service -policies -speeds).
+//
+// Arrival processes: "poisson" (default), "deterministic", "erlang:K"
+// (smoother, SCV 1/K), "hyperexp:CV2" (bursty, SCV ≥ 1).
+// Service laws: "exponential" (default), "deterministic", "erlang:K",
+// "pareto:ALPHA[,h=H]" (heavy-tailed bounded Pareto).
+// Policies: "sqd" (default, the paper's SQ(d)), "jsq", "jiq",
+// "round-robin", "random".
+//
+// Every combination with a classical closed form is pinned to it as a
+// correctness oracle (internal/sim tests):
+//
+//   - default Poisson/exponential/SQ(d): bit-identical to the
+//     pre-workload simulator AND inside the paper's QBD lower/upper delay
+//     bounds on an (N, d, ρ, T) grid;
+//   - M/G/1 (N=1, d=1, any service law): Pollaczek–Khinchine via the
+//     law's E[S²];
+//   - GI/M/1 (N=1, d=1, any arrival process): 1/(1−σ) with σ from
+//     Theorem 2's embedded σ-equation (internal/asym);
+//   - round-robin + deterministic arrivals: per-server D/M/1, same σ
+//     machinery;
+//   - random at any N: independent M/M/1 queues;
+//   - single-server speed s: M/M/1 with both rates scaled by s.
+//
+// The remaining combinations — JIQ, SQ(d) under non-Poisson or
+// heavy-tailed workloads, heterogeneous fleets under any load-aware
+// policy — are simulation-only and validated by ordering properties
+// (JSQ ≤ SQ(2) ≤ random at equal load) and seed-determinism tests. The
+// default configuration costs nothing for the pluggability: it resolves
+// to the original concrete event loop (see internal/sim), and both loops
+// are held to the same bit-identity goldens.
 package finitelb

@@ -9,6 +9,7 @@ import (
 	"finitelb/internal/qbd"
 	"finitelb/internal/sim"
 	"finitelb/internal/sqd"
+	"finitelb/internal/workload"
 )
 
 // ErrUnstable reports that the upper-bound model has insufficient effective
@@ -167,6 +168,24 @@ type SimOptions struct {
 	// streams run concurrently and pooled into one estimate (default 1,
 	// the bit-exact serial path; each stream pays the full Warmup).
 	Replications int
+
+	// Arrival selects the interarrival process by spec string:
+	// "poisson" (default — the only process the analytic bounds cover),
+	// "deterministic", "erlang:K" (smoother), "hyperexp:CV2" (bursty).
+	Arrival string
+	// Service selects the unit-mean service-time law: "exponential"
+	// (default), "deterministic", "erlang:K", "pareto:ALPHA[,h=H]"
+	// (heavy-tailed bounded Pareto).
+	Service string
+	// Policy selects the dispatch policy: "sqd" (default, using the
+	// system's d; "sqd:D" overrides it), "jsq", "jiq", "round-robin",
+	// "random".
+	Policy string
+	// Speeds declares a heterogeneous fleet as a comma list of per-server
+	// speed factors ("1,1,2.5") or SPEEDxCOUNT groups ("1x8,4x2"); empty
+	// means homogeneous unit speed. The aggregate arrival rate scales with
+	// the total speed so Rho stays the system utilization.
+	Speeds string
 }
 
 // SimResult reports a simulation estimate.
@@ -181,10 +200,33 @@ type SimResult struct {
 	P50, P95, P99 float64
 }
 
-// Simulate runs the discrete-event SQ(d) simulator (the paper's baseline;
-// its plots use 1e8 jobs per point — adjust Jobs for full fidelity).
+// Simulate runs the discrete-event simulator. With zero-valued workload
+// specs it is the paper's baseline — Poisson arrivals, exponential
+// homogeneous servers, SQ(d) — bit-identical run for run (the paper's
+// plots use 1e8 jobs per point; adjust Jobs for full fidelity). The
+// Arrival, Service, Policy, and Speeds specs open every other scenario;
+// those combinations are beyond the analytic bounds, which is the point.
 func (s *System) Simulate(opts SimOptions) (SimResult, error) {
-	res, err := sim.Run(s.p, sim.Options{Jobs: opts.Jobs, Warmup: opts.Warmup, Seed: opts.Seed, Replications: opts.Replications})
+	arrival, err := workload.ParseArrival(opts.Arrival)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("finitelb: simulate: %w", err)
+	}
+	service, err := workload.ParseService(opts.Service)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("finitelb: simulate: %w", err)
+	}
+	policy, err := workload.ParsePolicy(opts.Policy)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("finitelb: simulate: %w", err)
+	}
+	speeds, err := workload.ParseSpeeds(opts.Speeds, s.p.N)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("finitelb: simulate: %w", err)
+	}
+	res, err := sim.Run(s.p, sim.Options{
+		Jobs: opts.Jobs, Warmup: opts.Warmup, Seed: opts.Seed, Replications: opts.Replications,
+		Arrival: arrival, Service: service, Policy: policy, Speeds: speeds,
+	})
 	if err != nil {
 		return SimResult{}, fmt.Errorf("finitelb: simulate: %w", err)
 	}

@@ -20,6 +20,48 @@ func TestNewSystemValidation(t *testing.T) {
 	}
 }
 
+// TestSimulateWorkloadSpecs drives the workload knobs through the public
+// string-spec surface: defaults must match the explicit default specs bit
+// for bit, non-default specs must run (and differ), and malformed specs
+// must error out before simulating.
+func TestSimulateWorkloadSpecs(t *testing.T) {
+	s, err := NewSystem(4, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SimOptions{Jobs: 20_000, Seed: 13}
+	def, err := s.Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled := base
+	spelled.Arrival, spelled.Service, spelled.Policy = "poisson", "exponential", "sqd"
+	if got, err := s.Simulate(spelled); err != nil {
+		t.Fatal(err)
+	} else if got != def {
+		t.Errorf("explicit default specs diverge from zero-value specs:\n%+v\n%+v", got, def)
+	}
+	bursty := base
+	bursty.Arrival, bursty.Service, bursty.Policy, bursty.Speeds = "hyperexp:cv2=4", "pareto:alpha=2.5,h=100", "jiq", "1x2,2x2"
+	alt, err := s.Simulate(bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt == def {
+		t.Error("bursty heterogeneous workload produced the default trajectory")
+	}
+	for _, bad := range []SimOptions{
+		{Jobs: 10, Arrival: "nope"},
+		{Jobs: 10, Service: "erlang:0"},
+		{Jobs: 10, Policy: "sqd:d=99"},
+		{Jobs: 10, Speeds: "1,1"},
+	} {
+		if _, err := s.Simulate(bad); err == nil {
+			t.Errorf("Simulate accepted bad spec %+v", bad)
+		}
+	}
+}
+
 func TestAccessors(t *testing.T) {
 	s, err := NewSystem(6, 2, 0.75)
 	if err != nil {

@@ -1,8 +1,16 @@
 // Package sim provides the simulation side of the paper's evaluation: a
-// discrete-event simulator of the SQ(d) dispatcher measuring per-job
+// discrete-event simulator of a dispatched server farm measuring per-job
 // sojourn times (the baseline of Figures 9 and 10), and a CTMC trajectory
 // simulator for arbitrary sqd models used to cross-validate the
 // matrix-geometric solutions of the bound models.
+//
+// The event loop is workload-agnostic: arrival processes, service-time
+// laws, per-server speeds, and dispatch policies plug in through the
+// interfaces of internal/workload. The default configuration — Poisson
+// arrivals, exponential unit-rate homogeneous servers, SQ(d) — is the
+// paper's system and stays bit-identical to the pre-workload simulator;
+// every other configuration is validated against classical queueing
+// oracles where one exists (see workload_test.go).
 package sim
 
 import (
@@ -14,6 +22,7 @@ import (
 	"finitelb/internal/engine"
 	"finitelb/internal/sqd"
 	"finitelb/internal/stats"
+	"finitelb/internal/workload"
 )
 
 // Options configures a discrete-event run.
@@ -32,6 +41,23 @@ type Options struct {
 	Replications int
 	// Workers bounds the replication concurrency; default GOMAXPROCS.
 	Workers int
+
+	// Arrival is the interarrival process at aggregate rate ρ·Σspeeds
+	// (ρ·N for a homogeneous fleet). Default workload.Poisson{}, the only
+	// process the analytic bounds cover.
+	Arrival workload.Arrival
+	// Service is the unit-mean service-requirement law; the time server i
+	// spends on a job is Sample/Speeds[i]. Default workload.Exponential{}.
+	Service workload.Service
+	// Policy routes each arrival; default workload.SQD{D: Params.D}.
+	// Params.D is ignored by other policies (and by SQD specs with an
+	// explicit positive D).
+	Policy workload.Policy
+	// Speeds are per-server speed factors for heterogeneous fleets; nil
+	// means a homogeneous unit-speed fleet. Length must equal Params.N and
+	// every entry must be positive. The aggregate arrival rate scales with
+	// Σspeeds so ρ stays the system utilization.
+	Speeds []float64
 }
 
 func (o *Options) setDefaults() {
@@ -53,6 +79,73 @@ func (o *Options) setDefaults() {
 	if o.Replications <= 0 {
 		o.Replications = 1
 	}
+	if o.Arrival == nil {
+		o.Arrival = workload.Poisson{}
+	}
+	if o.Service == nil {
+		o.Service = workload.Exponential{}
+	}
+}
+
+// wiring is the per-run workload configuration shared (read-only) by all
+// replication streams.
+type wiring struct {
+	arrival workload.Arrival
+	service workload.Service
+	policy  workload.Policy
+	speeds  []float64 // always length N
+	rate    float64   // aggregate arrival rate ρ·Σspeeds
+	// fastPath marks the paper's default wiring (Poisson, exponential,
+	// SQ(Params.D), homogeneous unit speeds), which runs the concrete
+	// pre-workload loop instead of paying interface dispatch per event.
+	// Both loops are pinned to the same bit-identity goldens.
+	fastPath bool
+}
+
+// resolve validates the workload options against p and freezes them into a
+// wiring. It is the single place all configuration errors surface;
+// runStream assumes a valid wiring.
+func resolve(p sqd.Params, o Options) (wiring, error) {
+	w := wiring{arrival: o.Arrival, service: o.Service, policy: o.Policy}
+	if w.policy == nil {
+		w.policy = workload.SQD{D: p.D}
+	} else if s, ok := w.policy.(workload.SQD); ok && s.D == 0 {
+		w.policy = workload.SQD{D: p.D} // parsed "sqd" with no explicit d
+	}
+	if err := w.service.Validate(); err != nil {
+		return wiring{}, err
+	}
+	sum := 0.0
+	switch {
+	case o.Speeds == nil:
+		w.speeds = make([]float64, p.N)
+		for i := range w.speeds {
+			w.speeds[i] = 1
+		}
+		sum = float64(p.N)
+	case len(o.Speeds) != p.N:
+		return wiring{}, fmt.Errorf("sim: %d speed factors for N = %d servers", len(o.Speeds), p.N)
+	default:
+		w.speeds = o.Speeds
+		for i, s := range o.Speeds {
+			if !(s > 0) || math.IsInf(s, 1) {
+				return wiring{}, fmt.Errorf("sim: speed[%d] = %v outside (0, ∞)", i, s)
+			}
+			sum += s
+		}
+	}
+	w.rate = p.Rho * sum
+	if _, err := w.arrival.NewSource(w.rate); err != nil {
+		return wiring{}, err
+	}
+	if _, err := w.policy.NewPicker(p.N); err != nil {
+		return wiring{}, err
+	}
+	w.fastPath = o.Speeds == nil &&
+		w.arrival == workload.Arrival(workload.Poisson{}) &&
+		w.service == workload.Service(workload.Exponential{}) &&
+		w.policy == workload.Policy(workload.SQD{D: p.D})
+	return w, nil
 }
 
 // Result summarizes a simulation run.
@@ -189,12 +282,15 @@ func (s *stream) merge(o *stream) {
 	}
 }
 
-// Run simulates the SQ(d) dispatcher: Poisson arrivals of rate ρN hit a
-// central dispatcher that samples d distinct servers uniformly (without
-// replacement) and queues the job at the sampled server with the fewest
-// jobs, ties broken uniformly; servers serve FIFO with exponential
-// unit-mean times. The first Warmup departures are discarded, then the
-// sojourn times of Jobs departures are averaged.
+// Run simulates a dispatched server farm: arrivals from opts.Arrival (at
+// aggregate rate ρ·Σspeeds) hit a central dispatcher that routes each job
+// via opts.Policy; servers serve FIFO, drawing unit-mean requirements from
+// opts.Service scaled by their speed factor. The zero-value options
+// reproduce the paper's system — Poisson arrivals of rate ρN, SQ(d)
+// sampling d distinct servers uniformly and joining the shortest (ties
+// uniform), exponential unit-rate homogeneous servers — draw for draw.
+// The first Warmup departures are discarded, then the sojourn times of
+// Jobs departures are averaged.
 //
 // With opts.Replications = R > 1 the measured-job budget is split across R
 // independently seeded streams (seeds derived from opts.Seed via its own
@@ -205,8 +301,12 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	opts.setDefaults()
+	w, err := resolve(p, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	if opts.Replications == 1 {
-		s := runStream(p, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed)
+		s := runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed)
 		return s.result(), nil
 	}
 
@@ -222,7 +322,7 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 		if int64(i) < opts.Jobs%r {
 			jobs++
 		}
-		return runStream(p, jobs, opts.Warmup, opts.BatchSize, seeds[i]), nil
+		return runStream(p, w, jobs, opts.Warmup, opts.BatchSize, seeds[i]), nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -234,8 +334,19 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 	return merged.result(), nil
 }
 
-// runStream runs one discrete-event stream: the original serial simulator.
-func runStream(p sqd.Params, jobs, warmup, batchSize int64, seed uint64) *stream {
+// farm adapts the server slice to the dispatcher's workload.Queues view.
+type farm struct{ servers []server }
+
+func (f farm) N() int        { return len(f.servers) }
+func (f farm) Len(i int) int { return f.servers[i].length() }
+
+// runStream runs one discrete-event stream. The wiring must have passed
+// resolve, so instantiating its pieces cannot fail. The default wiring
+// takes the concrete fast path; every other configuration runs the
+// pluggable loop. Both produce the same draw sequence for the default
+// pieces, which is what keeps the bit-identity regression tests green
+// (they pin each path against the same pre-workload goldens).
+func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64) *stream {
 	rng := rand.New(rand.NewPCG(seed, 0x5bd1e995))
 
 	servers := make([]server, p.N)
@@ -248,17 +359,29 @@ func runStream(p sqd.Params, jobs, warmup, batchSize int64, seed uint64) *stream
 	} else {
 		trk = newHeapTracker(p.N)
 	}
-	perm := make([]int, p.N)
-	for i := range perm {
-		perm[i] = i
-	}
-
-	lamN := p.TotalArrivalRate()
-	nextArrival := rng.ExpFloat64() / lamN
 	res := &stream{
 		batch: stats.NewBatchMeans(batchSize),
 		hist:  stats.NewHistogram(0.02, 25_000), // covers sojourns up to 500 service times
 	}
+	if w.fastPath {
+		runFastLoop(p, w.rate, servers, trk, rng, res, jobs, warmup)
+	} else {
+		runPluggableLoop(p, w, servers, trk, rng, res, jobs, warmup)
+	}
+	return res
+}
+
+// runFastLoop is the pre-workload event loop, verbatim: Poisson arrivals,
+// SQ(d) by partial Fisher–Yates, exponential unit-rate service, all with
+// concrete types so the per-event cost carries no interface dispatch. It
+// must never change behaviour without runPluggableLoop changing in
+// lockstep — TestDefaultWorkloadBitIdentical holds both to the same bits.
+func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng *rand.Rand, res *stream, jobs, warmup int64) {
+	perm := make([]int, p.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	nextArrival := rng.ExpFloat64() / lamN
 	var departed int64
 
 	for res.sojourns.N() < jobs {
@@ -311,5 +434,60 @@ func runStream(p sqd.Params, jobs, warmup, batchSize int64, seed uint64) *stream
 			res.hist.Add(sojourn)
 		}
 	}
-	return res
+}
+
+// runPluggableLoop is the workload-agnostic event loop: identical
+// structure to runFastLoop with the arrival source, dispatch picker,
+// service law, and speed factors drawn through the workload interfaces.
+func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng *rand.Rand, res *stream, jobs, warmup int64) {
+	src, err := w.arrival.NewSource(w.rate)
+	if err != nil {
+		panic("sim: unresolved wiring: " + err.Error())
+	}
+	picker, err := w.policy.NewPicker(p.N)
+	if err != nil {
+		panic("sim: unresolved wiring: " + err.Error())
+	}
+	// Box the farm view once; passing the struct would re-box (and heap
+	// allocate) on every Pick.
+	var queues workload.Queues = farm{servers: servers}
+	svc, speeds := w.service, w.speeds
+
+	nextArrival := src.Next(rng)
+	var departed int64
+
+	for res.sojourns.N() < jobs {
+		minC, minI := trk.min()
+		if nextArrival <= minC {
+			now := nextArrival
+			nextArrival = now + src.Next(rng)
+			best := picker.Pick(rng, queues)
+			sv := &servers[best]
+			sv.push(now)
+			if sv.length() == 1 {
+				sv.completion = now + svc.Sample(rng)/speeds[best]
+				trk.update(best, sv.completion)
+			}
+			if sv.length() > res.maxQueue {
+				res.maxQueue = sv.length()
+			}
+			continue
+		}
+		sv := &servers[minI]
+		now := sv.completion
+		arrivedAt := sv.pop()
+		if sv.length() > 0 {
+			sv.completion = now + svc.Sample(rng)/speeds[minI]
+		} else {
+			sv.completion = math.Inf(1)
+		}
+		trk.update(minI, sv.completion)
+		departed++
+		if departed > warmup {
+			sojourn := now - arrivedAt
+			res.batch.Add(sojourn)
+			res.sojourns.Add(sojourn)
+			res.hist.Add(sojourn)
+		}
+	}
 }

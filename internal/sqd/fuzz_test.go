@@ -1,0 +1,38 @@
+package sqd
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParamsValidate drives Params.Validate with arbitrary triples: it must
+// never panic, and whenever it accepts a triple the accepted system must
+// actually be well-posed — in particular the aggregate arrival rate must be
+// a positive finite number (the fuzzer is what caught Validate accepting
+// ρ = NaN). Seed corpus lives in testdata/fuzz/FuzzParamsValidate.
+func FuzzParamsValidate(f *testing.F) {
+	f.Add(3, 2, 0.8)
+	f.Add(1, 1, 0.5)
+	f.Add(250, 50, 0.95)
+	f.Add(0, 0, 0.0)
+	f.Add(-1, 2, 1.5)
+	f.Add(2, 3, 0.5)
+	f.Add(3, 2, math.NaN())
+	f.Add(3, 2, math.Inf(1))
+	f.Fuzz(func(t *testing.T, n, d int, rho float64) {
+		p := Params{N: n, D: d, Rho: rho}
+		if err := p.Validate(); err != nil {
+			return
+		}
+		if p.N < 1 || p.D < 1 || p.D > p.N {
+			t.Fatalf("Validate accepted ill-posed choices: %+v", p)
+		}
+		if !(p.Rho > 0 && p.Rho < 1) {
+			t.Fatalf("Validate accepted utilization outside (0,1): %+v", p)
+		}
+		rate := p.TotalArrivalRate()
+		if !(rate > 0) || math.IsNaN(rate) || math.IsInf(rate, 0) {
+			t.Fatalf("valid params %+v yield arrival rate %v", p, rate)
+		}
+	})
+}

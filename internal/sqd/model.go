@@ -32,7 +32,7 @@ func (p Params) Validate() error {
 	if p.D < 1 || p.D > p.N {
 		return fmt.Errorf("sqd: d = %d outside [1, N=%d]", p.D, p.N)
 	}
-	if p.Rho <= 0 || p.Rho >= 1 {
+	if !(p.Rho > 0 && p.Rho < 1) { // the negated form also rejects NaN
 		return fmt.Errorf("sqd: utilization ρ = %v outside (0, 1)", p.Rho)
 	}
 	return nil

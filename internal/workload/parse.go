@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseArrival builds an arrival process from a spec string:
+//
+//	""                        default (nil: caller picks Poisson)
+//	"poisson" | "m"           Poisson
+//	"deterministic" | "det" | "d"
+//	"erlang:K" | "erlang:k=K"
+//	"hyperexp:CV2" | "hyperexp:cv2=CV2" | "h2:CV2"
+func ParseArrival(spec string) (Arrival, error) {
+	name, args := splitSpec(spec)
+	switch name {
+	case "":
+		return nil, nil
+	case "poisson", "m", "exp", "exponential":
+		if err := noArgs("arrival", name, args); err != nil {
+			return nil, err
+		}
+		return Poisson{}, nil
+	case "deterministic", "det", "d":
+		if err := noArgs("arrival", name, args); err != nil {
+			return nil, err
+		}
+		return DeterministicArrivals{}, nil
+	case "erlang", "er":
+		if err := checkKeys(args, "k"); err != nil {
+			return nil, fmt.Errorf("workload: arrival %q: %w", spec, err)
+		}
+		k, err := intArg(args, "k", true, true, 0)
+		if err != nil {
+			return nil, fmt.Errorf("workload: arrival %q: %w", spec, err)
+		}
+		a := ErlangArrivals{K: k}
+		if _, err := a.NewSource(1); err != nil {
+			return nil, err
+		}
+		return a, nil
+	case "hyperexp", "h2":
+		if err := checkKeys(args, "cv2"); err != nil {
+			return nil, fmt.Errorf("workload: arrival %q: %w", spec, err)
+		}
+		cv2, err := floatArg(args, "cv2", true, true, 0)
+		if err != nil {
+			return nil, fmt.Errorf("workload: arrival %q: %w", spec, err)
+		}
+		a := HyperExp{CV2: cv2}
+		if _, err := a.NewSource(1); err != nil {
+			return nil, err
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival process %q (want poisson, deterministic, erlang:K, hyperexp:CV2)", spec)
+	}
+}
+
+// ParseService builds a service-time law from a spec string:
+//
+//	""                        default (nil: caller picks Exponential)
+//	"exponential" | "exp" | "m"
+//	"deterministic" | "det" | "d"
+//	"erlang:K" | "erlang:k=K"
+//	"pareto:ALPHA" | "pareto:alpha=ALPHA[,h=H]"   (default h 1000)
+func ParseService(spec string) (Service, error) {
+	name, args := splitSpec(spec)
+	switch name {
+	case "":
+		return nil, nil
+	case "exponential", "exp", "m":
+		if err := noArgs("service", name, args); err != nil {
+			return nil, err
+		}
+		return Exponential{}, nil
+	case "deterministic", "det", "d":
+		if err := noArgs("service", name, args); err != nil {
+			return nil, err
+		}
+		return DeterministicService{}, nil
+	case "erlang", "er":
+		if err := checkKeys(args, "k"); err != nil {
+			return nil, fmt.Errorf("workload: service %q: %w", spec, err)
+		}
+		k, err := intArg(args, "k", true, true, 0)
+		if err != nil {
+			return nil, fmt.Errorf("workload: service %q: %w", spec, err)
+		}
+		return NewErlangService(k)
+	case "pareto", "bp":
+		if err := checkKeys(args, "alpha", "h"); err != nil {
+			return nil, fmt.Errorf("workload: service %q: %w", spec, err)
+		}
+		alpha, err := floatArg(args, "alpha", true, true, 0)
+		if err != nil {
+			return nil, fmt.Errorf("workload: service %q: %w", spec, err)
+		}
+		h, err := floatArg(args, "h", false, false, 1000)
+		if err != nil {
+			return nil, fmt.Errorf("workload: service %q: %w", spec, err)
+		}
+		return NewBoundedPareto(alpha, h)
+	default:
+		return nil, fmt.Errorf("workload: unknown service law %q (want exponential, deterministic, erlang:K, pareto:ALPHA)", spec)
+	}
+}
+
+// ParsePolicy builds a dispatch policy from a spec string:
+//
+//	""                        default (nil: caller picks SQ(d) from Params)
+//	"sqd" | "sqd:D" | "sqd:d=D"   (D 0 means "use Params.D")
+//	"jsq"
+//	"jiq"
+//	"round-robin" | "rr"
+//	"random" | "uniform"
+func ParsePolicy(spec string) (Policy, error) {
+	name, args := splitSpec(spec)
+	switch name {
+	case "":
+		return nil, nil
+	case "sqd", "sq":
+		if err := checkKeys(args, "d"); err != nil {
+			return nil, fmt.Errorf("workload: policy %q: %w", spec, err)
+		}
+		d, err := intArg(args, "d", true, false, 0) // 0: inherit Params.D
+		if err != nil {
+			return nil, fmt.Errorf("workload: policy %q: %w", spec, err)
+		}
+		if d < 0 || d > 1<<20 {
+			return nil, fmt.Errorf("workload: policy %q: d = %d out of range", spec, d)
+		}
+		return SQD{D: d}, nil
+	case "jsq":
+		if err := noArgs("policy", name, args); err != nil {
+			return nil, err
+		}
+		return JSQ{}, nil
+	case "jiq":
+		if err := noArgs("policy", name, args); err != nil {
+			return nil, err
+		}
+		return JIQ{}, nil
+	case "round-robin", "rr":
+		if err := noArgs("policy", name, args); err != nil {
+			return nil, err
+		}
+		return RoundRobin{}, nil
+	case "random", "uniform":
+		if err := noArgs("policy", name, args); err != nil {
+			return nil, err
+		}
+		return Random{}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown policy %q (want sqd[:D], jsq, jiq, round-robin, random)", spec)
+	}
+}
+
+// ParseSpeeds parses per-server speed factors: either a comma list of n
+// positive floats ("1,1,2.5") or "SPEEDxCOUNT" groups ("1x8,4x2" — eight
+// unit-speed servers then two 4× servers). An empty spec returns nil (a
+// homogeneous unit-speed fleet). The total server count must equal n.
+func ParseSpeeds(spec string, n int) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var speeds []float64
+	for _, part := range strings.Split(spec, ",") {
+		val, count := part, 1
+		if i := strings.IndexByte(part, 'x'); i >= 0 {
+			c, err := strconv.Atoi(part[i+1:])
+			if err != nil || c < 1 || c > 1<<20 {
+				return nil, fmt.Errorf("workload: speed group %q: bad count", part)
+			}
+			val, count = part[:i], c
+		}
+		s, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(s > 0 && s <= 1e6) {
+			return nil, fmt.Errorf("workload: speed %q outside (0, 1e6]", part)
+		}
+		if len(speeds)+count > n {
+			return nil, fmt.Errorf("workload: speeds %q describe more than %d servers", spec, n)
+		}
+		for i := 0; i < count; i++ {
+			speeds = append(speeds, s)
+		}
+	}
+	if len(speeds) != n {
+		return nil, fmt.Errorf("workload: speeds %q describe %d servers, need %d", spec, len(speeds), n)
+	}
+	return speeds, nil
+}
+
+// splitSpec separates "name:key=v,key=v" into the lowercase name and its
+// raw argument string.
+func splitSpec(spec string) (name, args string) {
+	spec = strings.TrimSpace(spec)
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		return strings.ToLower(strings.TrimSpace(spec[:i])), strings.TrimSpace(spec[i+1:])
+	}
+	return strings.ToLower(spec), ""
+}
+
+func noArgs(kind, name, args string) error {
+	if args != "" {
+		return fmt.Errorf("workload: %s %q takes no arguments (got %q)", kind, name, args)
+	}
+	return nil
+}
+
+// checkKeys rejects argument strings containing unknown, duplicate, or
+// conflicting keys, so a typo ("pareto:alpha=2,cap=50") or a bare value
+// restated as a named one ("erlang:4,k=5") errors instead of silently
+// simulating a different configuration. The bare first token counts as the
+// primary key.
+func checkKeys(args, primary string, secondary ...string) error {
+	if args == "" {
+		return nil
+	}
+	seen := map[string]bool{}
+	for i, kv := range strings.Split(args, ",") {
+		kv = strings.TrimSpace(kv)
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			if i > 0 {
+				return fmt.Errorf("malformed argument %q", kv)
+			}
+			seen[primary] = true
+			continue
+		}
+		k := strings.ToLower(strings.TrimSpace(kv[:eq]))
+		known := k == primary
+		for _, a := range secondary {
+			known = known || k == a
+		}
+		if !known {
+			return fmt.Errorf("unknown argument %q", k)
+		}
+		if seen[k] {
+			return fmt.Errorf("duplicate argument %q", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// intArg reads key from "k=v,k=v" args. primary marks the spec's main
+// argument, which may also be given bare ("erlang:4" ≡ "erlang:k=4").
+// required=false falls back to def when the key is absent.
+func intArg(args, key string, primary, required bool, def int) (int, error) {
+	s, ok, err := lookupArg(args, key, primary)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		if required {
+			return 0, fmt.Errorf("missing required argument %q", key)
+		}
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("argument %s=%q is not an integer", key, s)
+	}
+	return v, nil
+}
+
+// floatArg is intArg for floats.
+func floatArg(args, key string, primary, required bool, def float64) (float64, error) {
+	s, ok, err := lookupArg(args, key, primary)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		if required {
+			return 0, fmt.Errorf("missing required argument %q", key)
+		}
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("argument %s=%q is not a number", key, s)
+	}
+	return v, nil
+}
+
+// lookupArg finds key in "k=v,k=v" args. The first token may be a bare
+// value with no '=' — it binds to the spec's primary key ("pareto:2.5" and
+// "pareto:2.5,h=100" both read 2.5 as alpha); secondary keys must be
+// named, and a bare token anywhere else is malformed.
+func lookupArg(args, key string, primary bool) (val string, ok bool, err error) {
+	if args == "" {
+		return "", false, nil
+	}
+	for i, kv := range strings.Split(args, ",") {
+		kv = strings.TrimSpace(kv)
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			if i > 0 {
+				return "", false, fmt.Errorf("malformed argument %q", kv)
+			}
+			if primary {
+				return kv, true, nil
+			}
+			continue // the bare primary value, but another key was asked for
+		}
+		if strings.ToLower(strings.TrimSpace(kv[:eq])) == key {
+			return strings.TrimSpace(kv[eq+1:]), true, nil
+		}
+	}
+	return "", false, nil
+}

@@ -1,0 +1,82 @@
+// Package workload makes the discrete-event simulator pluggable: arrival
+// processes, service-time distributions, per-server speed factors, and
+// dispatch policies are small interfaces the event loop in internal/sim
+// draws from. The analytic side of the repository (the QBD bounds) covers
+// exactly one configuration — Poisson arrivals, exponential unit-rate
+// homogeneous servers, SQ(d) dispatch — and that configuration is this
+// package's default, reproduced draw-for-draw so the simulator stays
+// bit-identical to its pre-workload behaviour. Every other combination
+// opens a scenario the paper's bounds cannot reach; where a classical
+// queueing formula exists (Pollaczek–Khinchine for M/G/1, the σ-root of
+// Theorem 2 for GI/M/1) the tests in internal/sim use it as a correctness
+// oracle, and the remaining combinations are validated by ordering
+// properties (JSQ ≤ SQ(2) ≤ random at equal load).
+//
+// Configurations are plain values safe to share across goroutines; any
+// per-stream mutable state (an SQ(d) sampling permutation, a round-robin
+// cursor, a modulated arrival phase) lives in the Source/Picker instances
+// created per simulation stream.
+//
+// All pieces are constructible from compact spec strings (see ParseArrival,
+// ParseService, ParsePolicy, ParseSpeeds), which is how cmd/sweep flags and
+// the public finitelb.SimOptions reach them.
+package workload
+
+import (
+	"math/rand/v2"
+)
+
+// Arrival describes an arrival process. NewSource instantiates the
+// per-stream state for an aggregate arrival rate (jobs per unit time);
+// implementations must validate and report configuration errors here, so
+// the hot path never checks.
+type Arrival interface {
+	NewSource(rate float64) (Source, error)
+	// String renders the canonical spec (parseable by ParseArrival).
+	String() string
+}
+
+// Source emits successive interarrival times of one stream. Sources are
+// not safe for concurrent use; create one per stream.
+type Source interface {
+	Next(rng *rand.Rand) float64
+}
+
+// Service is a unit-mean service-time distribution. Implementations are
+// immutable and draw i.i.d. samples, so one value serves all streams.
+type Service interface {
+	// Sample draws one service requirement (mean 1).
+	Sample(rng *rand.Rand) float64
+	// Moment2 returns E[S²], the ingredient of the Pollaczek–Khinchine
+	// oracle; it is ≥ 1 for any unit-mean law.
+	Moment2() float64
+	// Validate reports configuration errors (checked once per run; the hot
+	// path never does).
+	Validate() error
+	// String renders the canonical spec (parseable by ParseService).
+	String() string
+}
+
+// Queues is the dispatcher's read-only view of the server farm.
+type Queues interface {
+	// N returns the number of servers.
+	N() int
+	// Len returns the current queue length of server i (including the job
+	// in service).
+	Len(i int) int
+}
+
+// Policy describes a dispatch policy. NewPicker instantiates the
+// per-stream state for a farm of n servers and reports configuration
+// errors (e.g. SQ(d) with d > n).
+type Policy interface {
+	NewPicker(n int) (Picker, error)
+	// String renders the canonical spec (parseable by ParsePolicy).
+	String() string
+}
+
+// Picker routes one arrival to a server. Pickers are not safe for
+// concurrent use; create one per stream.
+type Picker interface {
+	Pick(rng *rand.Rand, q Queues) int
+}

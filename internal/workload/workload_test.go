@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(7, 11)) }
+
+// sampleMean draws n values and returns their mean.
+func sampleMean(n int, draw func(*rand.Rand) float64) float64 {
+	rng := testRNG()
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += draw(rng)
+	}
+	return sum / float64(n)
+}
+
+func TestArrivalRates(t *testing.T) {
+	const rate = 2.5
+	for _, a := range []Arrival{
+		Poisson{},
+		DeterministicArrivals{},
+		ErlangArrivals{K: 4},
+		HyperExp{CV2: 9},
+	} {
+		src, err := a.NewSource(rate)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		mean := sampleMean(200_000, src.Next)
+		if math.Abs(mean-1/rate) > 0.03/rate {
+			t.Errorf("%s: mean interarrival %v, want %v", a, mean, 1/rate)
+		}
+	}
+}
+
+func TestHyperExpCV2(t *testing.T) {
+	he := HyperExp{CV2: 9}
+	src, err := he.NewSource(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := testRNG()
+	n, sum, sum2 := 400_000, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := src.Next(rng)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	cv2 := (sum2/float64(n) - mean*mean) / (mean * mean)
+	if math.Abs(cv2-9) > 0.5 {
+		t.Errorf("hyperexp CV² = %v, want 9", cv2)
+	}
+}
+
+func TestServiceUnitMeans(t *testing.T) {
+	pareto, err := NewBoundedPareto(1.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paretoLight, err := NewBoundedPareto(2.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Service{
+		Exponential{},
+		DeterministicService{},
+		ErlangService{K: 4},
+		pareto,
+		paretoLight,
+	} {
+		mean := sampleMean(400_000, s.Sample)
+		if math.Abs(mean-1) > 0.03 {
+			t.Errorf("%s: sample mean %v, want 1", s, mean)
+		}
+		if m2 := s.Moment2(); !(m2 >= 1) {
+			t.Errorf("%s: E[S²] = %v < 1", s, m2)
+		}
+	}
+	// A light-tailed bounded Pareto's empirical second moment must agree
+	// with the closed form (the heavy 1.5 tail mixes too slowly to check).
+	rng := testRNG()
+	sum2 := 0.0
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		x := paretoLight.Sample(rng)
+		sum2 += x * x
+	}
+	if got, want := sum2/n, paretoLight.Moment2(); math.Abs(got-want) > 0.05*want {
+		t.Errorf("pareto(2.5,100): empirical E[S²] %v vs closed form %v", got, want)
+	}
+}
+
+func TestPickerBehaviour(t *testing.T) {
+	q := fuzzQueues{lens: []int{3, 0, 1, 0}}
+	rng := testRNG()
+
+	jsq, _ := JSQ{}.NewPicker(4)
+	jiq, _ := JIQ{}.NewPicker(4)
+	for i := 0; i < 50; i++ {
+		if id := jsq.Pick(rng, q); q.Len(id) != 0 {
+			t.Fatalf("JSQ picked server %d with %d jobs; an empty one exists", id, q.Len(id))
+		}
+		if id := jiq.Pick(rng, q); q.Len(id) != 0 {
+			t.Fatalf("JIQ picked busy server %d; an idle one exists", id)
+		}
+	}
+	// With nobody idle, JIQ falls back to uniform random.
+	busy := fuzzQueues{lens: []int{2, 1, 3, 1}}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[jiq.Pick(rng, busy)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("JIQ fallback visited only %d of 4 busy servers", len(seen))
+	}
+
+	rr, _ := RoundRobin{}.NewPicker(3)
+	for i := 0; i < 7; i++ {
+		if id := rr.Pick(rng, q); id != i%3 {
+			t.Fatalf("round-robin pick %d = %d, want %d", i, id, i%3)
+		}
+	}
+
+	// SQ(1) ≡ uniform random in law: over many picks every server shows up.
+	sq1, _ := SQD{D: 1}.NewPicker(4)
+	seen = map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[sq1.Pick(rng, q)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("SQ(1) visited only %d of 4 servers", len(seen))
+	}
+
+	// SQ(4) at N=4 must behave like JSQ: always an empty server.
+	sq4, _ := SQD{D: 4}.NewPicker(4)
+	for i := 0; i < 50; i++ {
+		if id := sq4.Pick(rng, q); q.Len(id) != 0 {
+			t.Fatalf("SQ(4)=JSQ picked server %d with %d jobs", id, q.Len(id))
+		}
+	}
+}
+
+// TestParseRoundTrip: every concrete configuration renders a spec string
+// that parses back to an equal configuration.
+func TestParseRoundTrip(t *testing.T) {
+	for _, a := range []Arrival{Poisson{}, DeterministicArrivals{}, ErlangArrivals{K: 7}, HyperExp{CV2: 4.5}} {
+		got, err := ParseArrival(a.String())
+		if err != nil {
+			t.Fatalf("ParseArrival(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Errorf("arrival %q parsed to %#v", a.String(), got)
+		}
+	}
+	pareto, err := NewBoundedPareto(1.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The documented bare-primary-plus-named-arg form must parse too.
+	if got, err := ParseService("pareto:2.5,h=100"); err != nil {
+		t.Errorf("ParseService(pareto:2.5,h=100): %v", err)
+	} else if got.String() != "pareto:alpha=2.5,h=100" {
+		t.Errorf("pareto:2.5,h=100 parsed to %q", got.String())
+	}
+	for _, s := range []Service{Exponential{}, DeterministicService{}, ErlangService{K: 3}, pareto} {
+		got, err := ParseService(s.String())
+		if err != nil {
+			t.Fatalf("ParseService(%q): %v", s.String(), err)
+		}
+		if got.String() != s.String() || math.Abs(got.Moment2()-s.Moment2()) > 1e-12 {
+			t.Errorf("service %q parsed to %q (E[S²] %v vs %v)", s.String(), got.String(), got.Moment2(), s.Moment2())
+		}
+	}
+	for _, p := range []Policy{SQD{D: 3}, JSQ{}, JIQ{}, RoundRobin{}, Random{}} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("policy %q parsed to %#v", p.String(), got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{"nope", "erlang", "erlang:0", "erlang:2000", "hyperexp:0.5", "poisson:3"} {
+		if _, err := ParseArrival(spec); err == nil {
+			t.Errorf("ParseArrival(%q) accepted", spec)
+		}
+	}
+	for _, spec := range []string{
+		"nope", "erlang:x", "pareto", "pareto:alpha=-1", "pareto:alpha=2,h=0.5", "exp:2",
+		"pareto:alpha=2,cap=50", // typo for h= must not silently default
+		"erlang:4,k=5",          // bare value restated as a conflicting named one
+		"pareto:alpha=2,alpha=3",
+	} {
+		if _, err := ParseService(spec); err == nil {
+			t.Errorf("ParseService(%q) accepted", spec)
+		}
+	}
+	for _, spec := range []string{"nope", "sqd:d=-2", "jsq:3", "rr:x", "sqd:q=2"} {
+		if _, err := ParsePolicy(spec); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", spec)
+		}
+	}
+	for _, spec := range []string{"1,1", "1,1,1,1,1", "0,1,1,1", "x", "1x3,1x2", "2x0,1x4"} {
+		if _, err := ParseSpeeds(spec, 4); err == nil {
+			t.Errorf("ParseSpeeds(%q, 4) accepted", spec)
+		}
+	}
+}
+
+func TestParseSpeedsGroups(t *testing.T) {
+	got, err := ParseSpeeds("1x2,4x2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseSpeeds groups = %v, want %v", got, want)
+		}
+	}
+	if s, err := ParseSpeeds("", 4); err != nil || s != nil {
+		t.Errorf("empty speeds spec: got %v, %v; want nil, nil", s, err)
+	}
+}
