@@ -1,0 +1,276 @@
+// Command lbd runs the live load-balancer daemon: the internal/lb runtime
+// behind an HTTP front end, dispatching real concurrent requests across N
+// goroutine servers under any of the repository's workload policies. It is
+// the "machine" end of the model-to-machine calibration story — the same
+// policy implementations, measured in the same units, as the simulator and
+// the paper's QBD bounds (see the package documentation of finitelb and
+// internal/lb).
+//
+// Serve mode (default):
+//
+//	lbd -addr :8080 -n 16 -policy sqd:2 -service exponential -mean-service 5ms
+//
+//	POST /work[?work=1.5]   dispatch one job (requirement drawn from the
+//	                        service law unless given); responds when done
+//	GET  /metrics           Prometheus text exposition
+//	GET  /healthz           liveness
+//
+// SIGINT/SIGTERM stop admission, drain every queued job, and print the
+// drain stats.
+//
+// Load-generator mode drives the farm itself — open-loop arrivals from
+// -arrival at utilization -rho — then prints the measured summary and,
+// when the workload is the paper's (Poisson/exponential/SQ(d)), the
+// analytic QBD delay bracket the measurement should (and does) land in:
+//
+//	lbd -loadgen 20000 -n 10 -d 2 -rho 0.9 -arrival poisson -mean-service 2ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"finitelb"
+	"finitelb/internal/lb"
+	"finitelb/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address (serve mode)")
+		n           = flag.Int("n", 8, "number of servers N")
+		d           = flag.Int("d", 2, "choices per arrival for the default sqd policy")
+		policy      = flag.String("policy", "sqd", "dispatch policy: sqd[:D] | jsq | jiq | lwl | round-robin | random")
+		service     = flag.String("service", "exponential", "service law: exponential | deterministic | erlang:K | pareto:ALPHA[,h=H]")
+		arrival     = flag.String("arrival", "poisson", "arrival process (loadgen mode): poisson | deterministic | erlang:K | hyperexp:CV2")
+		rho         = flag.Float64("rho", 0.8, "per-server utilization (loadgen mode)")
+		speeds      = flag.String("speeds", "", "per-server speed factors, e.g. 1x6,4x2 (empty = homogeneous)")
+		queueCap    = flag.Int("queue-cap", 4096, "per-server queue bound, including the job in service")
+		meanService = flag.Duration("mean-service", 5*time.Millisecond, "wall-clock length of one unit of work")
+		warmup      = flag.Int64("warmup", 0, "completions excluded from statistics")
+		seed        = flag.Uint64("seed", 1, "RNG seed for sampling choices and drawn workloads")
+		loadgen     = flag.Int64("loadgen", 0, "run the built-in load generator for this many jobs and exit (0 = serve HTTP)")
+	)
+	flag.Parse()
+
+	pol, err := workload.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	if s, ok := pol.(workload.SQD); pol == nil || (ok && s.D == 0) {
+		pol = workload.SQD{D: *d}
+	}
+	svc, err := workload.ParseService(*service)
+	if err != nil {
+		fatal(err)
+	}
+	if svc == nil {
+		svc = workload.Exponential{}
+	}
+	arr, err := workload.ParseArrival(*arrival)
+	if err != nil {
+		fatal(err)
+	}
+	spd, err := workload.ParseSpeeds(*speeds, *n)
+	if err != nil {
+		fatal(err)
+	}
+
+	var batch int64
+	if *loadgen > 0 {
+		// Scale the CI batches to the run so even short smokes report a
+		// finite half-width.
+		batch = max(*loadgen/(20*int64(*n)), 10)
+	}
+	farm, err := lb.New(lb.Config{
+		N:           *n,
+		Policy:      pol,
+		Speeds:      spd,
+		QueueCap:    *queueCap,
+		MeanService: *meanService,
+		Warmup:      *warmup,
+		BatchSize:   batch,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *loadgen > 0 {
+		if err := runLoadGen(farm, arr, svc, pol, *n, *d, *rho, *loadgen, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	serve(farm, svc, *addr, *seed)
+}
+
+// runLoadGen drives the farm and prints the measurement next to the
+// analytic bracket where one exists.
+func runLoadGen(farm *lb.LB, arr workload.Arrival, svc workload.Service, pol workload.Policy, n, d int, rho float64, jobs int64, seed uint64) error {
+	fmt.Printf("offering %d jobs: %s arrivals at ρ=%g, %s service, policy %s\n",
+		jobs, specName(arr, "poisson"), rho, svc, pol)
+	t0 := time.Now()
+	s, err := farm.RunLoadGen(context.Background(), lb.GenConfig{
+		Arrival: arr, Service: svc, Rho: rho, Jobs: jobs, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	if _, err := farm.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	fmt.Printf("\nlive measurement (%d jobs measured, %v wall, %.0f jobs/s):\n",
+		s.Jobs, elapsed.Round(time.Millisecond), float64(s.Completed)/elapsed.Seconds())
+	fmt.Printf("  mean delay   %.4f ± %.4f service times (wait %.4f)\n", s.MeanDelay, s.HalfWidth, s.MeanWait)
+	fmt.Printf("  p50/p95/p99  %.3f / %.3f / %.3f\n", s.P50, s.P95, s.P99)
+	fmt.Printf("  max queue %d, rejected %d, realized service %.3f× nominal\n", s.MaxQueue, s.Rejected, s.MeanService)
+
+	// The paper's bracket applies exactly to Poisson/exponential/SQ(d)
+	// homogeneous farms; print it when that is what just ran.
+	sq, isSQD := pol.(workload.SQD)
+	if isSQD && specName(arr, "poisson") == "poisson" && svc.String() == "exponential" && n <= 16 {
+		sys, err := finitelb.NewSystem(n, sq.D, rho)
+		if err != nil {
+			return nil // e.g. d > n after an explicit -policy sqd:D
+		}
+		for t := 3; t <= 4; t++ {
+			b, err := sys.DelayBounds(t)
+			if err != nil {
+				continue // upper-bound model unstable at this T; try tighter
+			}
+			fmt.Printf("\npaper's QBD bracket for SQ(%d), N=%d, ρ=%g at T=%d: [%.4f, %.4f]; asymptotic %.4f\n",
+				sq.D, n, rho, t, b.Lower.MeanDelay, b.Upper.MeanDelay, sys.AsymptoticDelay())
+			return nil
+		}
+		fmt.Printf("\n(no stable QBD upper bound by T=4 at ρ=%g; raise T offline for the bracket)\n", rho)
+	}
+	return nil
+}
+
+func specName(a workload.Arrival, def string) string {
+	if a == nil {
+		return def
+	}
+	return a.String()
+}
+
+// serve runs the HTTP front end until SIGINT/SIGTERM, then drains.
+func serve(farm *lb.LB, svc workload.Service, addr string, seed uint64) {
+	srv := &http.Server{Addr: addr, Handler: newMux(farm, svc, seed)}
+	go func() {
+		fmt.Printf("lbd listening on %s (N=%d)\n", addr, farm.N())
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	<-stop
+	fmt.Println("lbd: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lbd: http shutdown:", err)
+	}
+	st, err := farm.Shutdown(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbd: drain:", err)
+	}
+	fmt.Printf("lbd: drained: %d completed, %d rejected, %d abandoned\n", st.Completed, st.Rejected, st.Abandoned)
+}
+
+// newMux wires the HTTP surface; split out for tests.
+func newMux(farm *lb.LB, svc workload.Service, seed uint64) http.Handler {
+	drawRNG := rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d))
+	var drawMu sync.Mutex
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /work", func(w http.ResponseWriter, r *http.Request) {
+		work := 0.0
+		if q := r.URL.Query().Get("work"); q != "" {
+			if _, err := fmt.Sscanf(q, "%g", &work); err != nil || !(work > 0) {
+				http.Error(w, "work must be a positive number", http.StatusBadRequest)
+				return
+			}
+		} else {
+			drawMu.Lock()
+			work = svc.Sample(drawRNG)
+			drawMu.Unlock()
+		}
+		done, err := farm.Do(r.Context(), work)
+		switch err {
+		case nil:
+		case lb.ErrQueueFull, lb.ErrClosed:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		default:
+			if r.Context().Err() != nil {
+				return // client went away; the job still completes
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"server":     done.Server,
+			"work":       work,
+			"service_ms": float64(done.Service) / 1e6,
+			"sojourn_ms": float64(done.Sojourn) / 1e6,
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s := farm.Summary()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP lbd_jobs_completed_total Jobs fully served, including warmup.\n")
+		fmt.Fprintf(w, "# TYPE lbd_jobs_completed_total counter\n")
+		fmt.Fprintf(w, "lbd_jobs_completed_total %d\n", s.Completed)
+		fmt.Fprintf(w, "# HELP lbd_jobs_rejected_total Jobs refused on a full queue.\n")
+		fmt.Fprintf(w, "# TYPE lbd_jobs_rejected_total counter\n")
+		fmt.Fprintf(w, "lbd_jobs_rejected_total %d\n", s.Rejected)
+		fmt.Fprintf(w, "# HELP lbd_delay_mean_service_times Mean sojourn in mean service times (after warmup).\n")
+		fmt.Fprintf(w, "# TYPE lbd_delay_mean_service_times gauge\n")
+		fmt.Fprintf(w, "lbd_delay_mean_service_times %g\n", s.MeanDelay)
+		fmt.Fprintf(w, "# HELP lbd_delay_halfwidth_service_times 95%% batch-means CI half-width on the mean delay.\n")
+		fmt.Fprintf(w, "# TYPE lbd_delay_halfwidth_service_times gauge\n")
+		fmt.Fprintf(w, "lbd_delay_halfwidth_service_times %g\n", s.HalfWidth)
+		fmt.Fprintf(w, "# HELP lbd_delay_quantile_service_times Sojourn quantiles in mean service times.\n")
+		fmt.Fprintf(w, "# TYPE lbd_delay_quantile_service_times gauge\n")
+		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.5\"} %g\n", s.P50)
+		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.95\"} %g\n", s.P95)
+		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.99\"} %g\n", s.P99)
+		fmt.Fprintf(w, "# HELP lbd_service_realized_ratio Realized over nominal mean service (timer fidelity gauge).\n")
+		fmt.Fprintf(w, "# TYPE lbd_service_realized_ratio gauge\n")
+		fmt.Fprintf(w, "lbd_service_realized_ratio %g\n", s.MeanService)
+		fmt.Fprintf(w, "# HELP lbd_max_queue_length Largest queue length reserved by a dispatch.\n")
+		fmt.Fprintf(w, "# TYPE lbd_max_queue_length gauge\n")
+		fmt.Fprintf(w, "lbd_max_queue_length %d\n", s.MaxQueue)
+		fmt.Fprintf(w, "# HELP lbd_queue_length Current queue length, including the job in service.\n")
+		fmt.Fprintf(w, "# TYPE lbd_queue_length gauge\n")
+		for i, l := range farm.QueueLens() {
+			fmt.Fprintf(w, "lbd_queue_length{server=\"%d\"} %d\n", i, l)
+		}
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"finitelb/internal/lb"
+	"finitelb/internal/workload"
+)
+
+func testFarm(t *testing.T) *lb.LB {
+	t.Helper()
+	farm, err := lb.New(lb.Config{N: 4, MeanService: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := farm.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return farm
+}
+
+func TestWorkEndpoint(t *testing.T) {
+	mux := newMux(testFarm(t), workload.Exponential{}, 1)
+
+	// Explicit work.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/work?work=2.5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("POST /work: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Server    int     `json:"server"`
+		Work      float64 `json:"work"`
+		ServiceMS float64 `json:"service_ms"`
+		SojournMS float64 `json:"sojourn_ms"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Work != 2.5 || resp.ServiceMS != 0.25 {
+		t.Errorf("work %v service %vms, want 2.5 / 0.25ms", resp.Work, resp.ServiceMS)
+	}
+	if resp.SojournMS < resp.ServiceMS {
+		t.Errorf("sojourn %vms below service %vms", resp.SojournMS, resp.ServiceMS)
+	}
+
+	// Drawn work.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/work", nil))
+	if rec.Code != 200 {
+		t.Fatalf("POST /work (drawn): %d %s", rec.Code, rec.Body)
+	}
+
+	// Invalid work.
+	for _, q := range []string{"?work=-1", "?work=0", "?work=banana"} {
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/work"+q, nil))
+		if rec.Code != 400 {
+			t.Errorf("POST /work%s: %d, want 400", q, rec.Code)
+		}
+	}
+
+	// Wrong method.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/work", nil))
+	if rec.Code == 200 {
+		t.Error("GET /work accepted")
+	}
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	farm := testFarm(t)
+	mux := newMux(farm, workload.Exponential{}, 1)
+	for i := 0; i < 20; i++ {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/work?work=1", nil))
+		if rec.Code != 200 {
+			t.Fatalf("POST /work: %d", rec.Code)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"lbd_jobs_completed_total 20",
+		"lbd_jobs_rejected_total 0",
+		"lbd_delay_mean_service_times ",
+		"lbd_delay_quantile_service_times{q=\"0.99\"}",
+		"lbd_service_realized_ratio ",
+		"lbd_queue_length{server=\"3\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("GET /healthz: %d %q", rec.Code, rec.Body)
+	}
+}
+
+// TestBusyFarmReturns503: a full bounded queue surfaces as 503, the
+// admission-control contract.
+func TestBusyFarmReturns503(t *testing.T) {
+	farm, err := lb.New(lb.Config{N: 1, QueueCap: 1, MeanService: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Shutdown(context.Background())
+	mux := newMux(farm, workload.Exponential{}, 1)
+
+	// Occupy the single queue slot with a long fire-and-forget job; the
+	// next request must bounce with 503.
+	if err := farm.Dispatch(10); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/work?work=1", nil))
+	if rec.Code != 503 {
+		t.Fatalf("POST /work against a full queue: %d, want 503", rec.Code)
+	}
+}

@@ -45,7 +45,7 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS)")
 
 		rhos     = flag.String("rhos", "", "comma list of utilizations (sim mode; default -rho)")
-		policies = flag.String("policies", "sqd,jsq,jiq,rr,random", "comma list of dispatch policies (sim mode)")
+		policies = flag.String("policies", "sqd,jsq,jiq,rr,random", "comma list of dispatch policies (sim mode): sqd[:D] jsq jiq lwl rr random")
 		arrival  = flag.String("arrival", "poisson", "arrival process: poisson | deterministic | erlang:K | hyperexp:CV2")
 		service  = flag.String("service", "exponential", "service law: exponential | deterministic | erlang:K | pareto:ALPHA[,h=H]")
 		speeds   = flag.String("speeds", "", "per-server speed factors, e.g. 1x8,4x2 (sim mode; empty = homogeneous)")

@@ -64,12 +64,24 @@
 // SimOptions (Arrival, Service, Policy, Speeds) and the matching
 // cmd/sweep flags (-mode sim -arrival -service -policies -speeds).
 //
-// Arrival processes: "poisson" (default), "deterministic", "erlang:K"
-// (smoother, SCV 1/K), "hyperexp:CV2" (bursty, SCV ≥ 1).
-// Service laws: "exponential" (default), "deterministic", "erlang:K",
-// "pareto:ALPHA[,h=H]" (heavy-tailed bounded Pareto).
-// Policies: "sqd" (default, the paper's SQ(d)), "jsq", "jiq",
-// "round-robin", "random".
+// # Workload spec grammar
+//
+// Every workload piece parses from a compact spec string of the shape
+// NAME[:ARGS], where ARGS is a comma list of KEY=VALUE pairs and the
+// first token may be the bare value of the spec's primary key
+// ("erlang:4" ≡ "erlang:k=4"). Unknown, duplicate, or malformed keys are
+// rejected with the accepted grammar restated in the error. The full
+// vocabulary:
+//
+//	arrivals  "poisson" (default) | "deterministic" | "erlang:K"
+//	          (smoother, SCV 1/K) | "hyperexp:CV2" (bursty, SCV ≥ 1)
+//	services  "exponential" (default) | "deterministic" | "erlang:K" |
+//	          "pareto:ALPHA[,h=H]" (heavy-tailed bounded Pareto,
+//	          default cap h=1000 mean service times)
+//	policies  "sqd" (default, the paper's SQ(d); "sqd:D" overrides d) |
+//	          "jsq" | "jiq" | "lwl" (least-work-left, dispatching on
+//	          actual outstanding work) | "round-robin" | "random"
+//	speeds    comma list ("1,1,2.5") or SPEEDxCOUNT groups ("1x8,4x2")
 //
 // Every combination with a classical closed form is pinned to it as a
 // correctness oracle (internal/sim tests):
@@ -84,13 +96,58 @@
 //   - round-robin + deterministic arrivals: per-server D/M/1, same σ
 //     machinery;
 //   - random at any N: independent M/M/1 queues;
-//   - single-server speed s: M/M/1 with both rates scaled by s.
+//   - single-server speed s: M/M/1 with both rates scaled by s;
+//   - LWL at N=1 (any service law): the same M/G/1, exercising the
+//     work-tracking event loop.
 //
 // The remaining combinations — JIQ, SQ(d) under non-Poisson or
 // heavy-tailed workloads, heterogeneous fleets under any load-aware
 // policy — are simulation-only and validated by ordering properties
-// (JSQ ≤ SQ(2) ≤ random at equal load) and seed-determinism tests. The
-// default configuration costs nothing for the pluggability: it resolves
-// to the original concrete event loop (see internal/sim), and both loops
-// are held to the same bit-identity goldens.
+// (JSQ ≤ SQ(2) ≤ random at equal load; LWL ≤ JSQ under heavy-tailed
+// service, where queue length is a poor proxy for work) and
+// seed-determinism tests. The default configuration costs nothing for
+// the pluggability: it resolves to the original concrete event loop (see
+// internal/sim), and both loops are held to the same bit-identity
+// goldens.
+//
+// # From model to machine
+//
+// Everything above evaluates the paper in model space — closed forms,
+// matrix-geometric solves, virtual-time simulation. internal/lb closes
+// the remaining gap: a live dispatcher runtime serving real concurrent
+// traffic on N goroutine servers with bounded FIFO queues, routing
+// through the *same* workload.Policy implementations, measuring through
+// the *same* internal/stats accumulators, and reporting in the *same*
+// unit (multiples of the mean service time). A job's requirement is
+// rendered as wall-clock time by a self-calibrating sleeper; dispatch
+// samples a sharded atomic queue-length table (O(d) per SQ(d) decision,
+// no global lock) and a lock-free idle stack serves JIQ; cmd/lbd exposes
+// the farm over HTTP (POST /work, /metrics, /healthz) with a built-in
+// open-loop load generator mode.
+//
+// The calibration methodology — and the repository's headline
+// end-to-end test (internal/lb/calibrate_test.go, skipped under -short)
+// — is: drive the live farm with Poisson arrivals and exponential
+// service under SQ(2) at (N, ρ) ∈ {2, 10} × {0.7, 0.9}, and assert the
+// *measured* mean sojourn falls inside the paper's QBD lower/upper
+// bracket, with slack for the batch-means confidence interval and for
+// host timer jitter (which the Summary's realized-service gauge makes
+// visible). The same harness checks the policy ordering holds live.
+// Two reproduction paths:
+//
+//	go test -run TestLiveDelayWithinQBDBounds -v ./internal/lb
+//	go run ./examples/livelb
+//
+// Live timing fidelity is the interesting engineering problem: hosts
+// overshoot time.Sleep by anywhere from ~50µs to over a millisecond, and
+// naive per-job sleeping compounds that error through every queue into
+// an effective utilization far above the nominal ρ. The runtime defeats
+// this twice over: the sleeper learns the host's overshoot online and
+// yield-spins only across the learned uncertainty margin, and each
+// server schedules completions on its own work clock (deadlines chain
+// from max(arrival, previous deadline), the ideal FIFO schedule), so
+// scheduling noise delays only the observation of each completion and
+// never inflates the queueing dynamics themselves. Dispatch benchmarks
+// for the hot path live in internal/lb/bench_test.go; scripts/bench_lb.sh
+// records them to BENCH_lb.json.
 package finitelb

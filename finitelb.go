@@ -178,8 +178,8 @@ type SimOptions struct {
 	// (heavy-tailed bounded Pareto).
 	Service string
 	// Policy selects the dispatch policy: "sqd" (default, using the
-	// system's d; "sqd:D" overrides it), "jsq", "jiq", "round-robin",
-	// "random".
+	// system's d; "sqd:D" overrides it), "jsq", "jiq", "lwl"
+	// (least-work-left), "round-robin", "random".
 	Policy string
 	// Speeds declares a heterogeneous fleet as a comma list of per-server
 	// speed factors ("1,1,2.5") or SPEEDxCOUNT groups ("1x8,4x2"); empty

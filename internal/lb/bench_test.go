@@ -1,0 +1,111 @@
+package lb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"finitelb/internal/workload"
+)
+
+// Dispatch-hot-path benchmarks, the feed for BENCH_lb.json (see
+// scripts/bench_lb.sh). Two altitudes:
+//
+//   - BenchmarkPick isolates the routing decision itself — the policy's
+//     sample over the sharded atomic table — which is what must stay O(d)
+//     for SQ(d) as N grows;
+//   - BenchmarkDispatch measures the full submit path (closed-check,
+//     pick, queue reservation, channel handoff) against live draining
+//     servers, whose reciprocal is the farm's jobs/sec dispatch ceiling.
+//
+// Service times are effectively zero so queueing physics stays out of the
+// numbers.
+var benchPolicies = []struct {
+	name   string
+	policy workload.Policy
+}{
+	{"sqd2", workload.SQD{D: 2}},
+	{"jsq", workload.JSQ{}},
+	{"jiq", workload.JIQ{}},
+	{"lwl", workload.LWL{}},
+	{"random", workload.Random{}},
+}
+
+var benchSizes = []int{10, 100, 1000}
+
+func benchFarm(b *testing.B, n int, policy workload.Policy) *LB {
+	b.Helper()
+	lb, err := New(Config{
+		N:           n,
+		Policy:      policy,
+		MeanService: time.Nanosecond, // jobs complete at channel speed
+		QueueCap:    1 << 14,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if _, err := lb.Shutdown(ctx); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+	})
+	return lb
+}
+
+func BenchmarkDispatch(b *testing.B) {
+	for _, bp := range benchPolicies {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/N=%d", bp.name, n), func(b *testing.B) {
+				lb := benchFarm(b, n, bp.policy)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Closed-loop backpressure: when the producer outruns
+					// the drainers and fills a bounded queue, yield and
+					// retry, so ns/op is the steady-state per-job cost of
+					// the whole dispatch pipeline.
+					for {
+						err := lb.Dispatch(1)
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, ErrQueueFull) {
+							b.Fatal(err)
+						}
+						runtime.Gosched()
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPick(b *testing.B) {
+	for _, bp := range benchPolicies {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/N=%d", bp.name, n), func(b *testing.B) {
+				lb := benchFarm(b, n, bp.policy)
+				d := lb.dispatchers.Get().(*dispatcher)
+				defer lb.dispatchers.Put(d)
+				b.ResetTimer()
+				if lb.jiq {
+					// The JIQ "pick" is the idle-stack pop/push pair.
+					for i := 0; i < b.N; i++ {
+						if id, ok := lb.idle.tryPop(); ok {
+							lb.idle.push(id)
+						}
+					}
+					return
+				}
+				for i := 0; i < b.N; i++ {
+					_ = d.picker.Pick(d.rng, &d.view)
+				}
+			})
+		}
+	}
+}

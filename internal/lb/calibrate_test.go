@@ -1,0 +1,181 @@
+package lb
+
+import (
+	"context"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"finitelb/internal/qbd"
+	"finitelb/internal/sqd"
+	"finitelb/internal/workload"
+)
+
+// The headline oracle of the live runtime: drive it with real
+// wall-clock Poisson arrivals and exponential service under SQ(2), and
+// assert the *measured* mean sojourn falls inside the paper's finite-N
+// QBD delay bracket. This ties the running concurrent system — goroutine
+// servers, atomic dispatch tables, real elapsed time — back to the
+// Theorem-level guarantees the repository computes analytically, and is
+// the "from model to machine" closure described in doc.go.
+//
+// Slack policy: the bracket is widened by 5× the batch-means CI
+// half-width (statistical noise) plus an absolute allowance for
+// completion-observation lateness (the Summary.MeanService gauge measures
+// it; on sharp-timer hosts it is ~0). The test therefore has teeth
+// against systemic errors — a wrong arrival rate, broken dispatch
+// sampling, lost jobs, compounding service inflation — while staying
+// robust to host timer jitter. Skipped under -short: it needs tens of
+// real-time seconds of traffic.
+func TestLiveDelayWithinQBDBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live calibration needs wall-clock traffic")
+	}
+	for _, c := range []struct {
+		n    int
+		rho  float64
+		jobs int64
+	}{
+		{2, 0.7, 4000},
+		{2, 0.9, 4000},
+		{10, 0.7, 8000},
+		{10, 0.9, 8000},
+	} {
+		lo, hi := qbdBracket(t, c.n, c.rho)
+		s := runLive(t, c.n, workload.SQD{D: 2}, c.rho, c.jobs)
+		// Observation lateness in service units: the gauge's excess over
+		// the nominal unit mean, floored at a modest allowance.
+		lateness := math.Max(s.MeanService-1, 0.1)
+		slack := 5*s.HalfWidth + 2*lateness
+		t.Logf("N=%d ρ=%g: live %.4f ± %.4f ∈ [%.4f, %.4f]? (slack %.3f, svc gauge %.3f, maxQ %d)",
+			c.n, c.rho, s.MeanDelay, s.HalfWidth, lo, hi, slack, s.MeanService, s.MaxQueue)
+		if s.MeanDelay < lo-slack || s.MeanDelay > hi+slack {
+			t.Errorf("N=%d ρ=%g: live mean delay %v outside QBD bounds [%v, %v] (slack %v)",
+				c.n, c.rho, s.MeanDelay, lo, hi, slack)
+		}
+		if s.Rejected != 0 {
+			t.Errorf("N=%d ρ=%g: %d rejects with an effectively unbounded queue", c.n, c.rho, s.Rejected)
+		}
+	}
+}
+
+// TestLivePolicyOrderingHolds runs the same live harness across the
+// policy spectrum at equal load and asserts the information ordering the
+// simulator pins analytically: the informed policies (JSQ, LWL, JIQ)
+// beat two-sample SQ(2), which beats blind random. Under exponential
+// service LWL and JSQ are near-equivalent (queue length is a good work
+// proxy there), so LWL is asserted against SQ(2), not JSQ.
+func TestLivePolicyOrderingHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live ordering needs wall-clock traffic")
+	}
+	const (
+		n    = 8
+		rho  = 0.85
+		jobs = 8000
+	)
+	run := func(p workload.Policy) Summary { return runLive(t, n, p, rho, jobs) }
+	jsq := run(workload.JSQ{})
+	lwl := run(workload.LWL{})
+	jiq := run(workload.JIQ{})
+	sq2 := run(workload.SQD{D: 2})
+	rnd := run(workload.Random{})
+	t.Logf("live N=%d ρ=%g: jsq %.3f lwl %.3f jiq %.3f sq2 %.3f random %.3f",
+		n, rho, jsq.MeanDelay, lwl.MeanDelay, jiq.MeanDelay, sq2.MeanDelay, rnd.MeanDelay)
+
+	expectBelow := func(name string, a, b Summary) {
+		t.Helper()
+		if !(a.MeanDelay+a.HalfWidth < b.MeanDelay-b.HalfWidth) {
+			t.Errorf("live %s: %v ± %v not below %v ± %v",
+				name, a.MeanDelay, a.HalfWidth, b.MeanDelay, b.HalfWidth)
+		}
+	}
+	expectBelow("JSQ < SQ(2)", jsq, sq2)
+	expectBelow("LWL < SQ(2)", lwl, sq2)
+	expectBelow("JIQ < random", jiq, rnd)
+	expectBelow("SQ(2) < random", sq2, rnd)
+}
+
+// runLive builds a farm and pushes one open-loop Poisson/exponential run
+// through it.
+func runLive(t *testing.T, n int, policy workload.Policy, rho float64, jobs int64) Summary {
+	t.Helper()
+	lb, err := New(Config{
+		N:           n,
+		Policy:      policy,
+		MeanService: 2 * time.Millisecond,
+		Warmup:      jobs / 10,
+		BatchSize:   max(jobs/(20*int64(n)), 20),
+		QueueCap:    1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := lb.RunLoadGen(context.Background(), GenConfig{Rho: rho, Jobs: jobs, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustShutdown(t, lb)
+	return s
+}
+
+// Pinned QBD bounds for N=10, d=2, ρ=0.9 at T=5 (block size 2002): the
+// upper-bound model is first stable at T=5 there, and that solve takes
+// minutes — far beyond a test budget — so the values are computed once
+// and pinned. Regenerate (and verify) with:
+//
+//	FINITELB_REGEN_QBD=1 go test -run TestPinnedQBDBounds -timeout 30m ./internal/lb
+const (
+	pinnedLowerN10R09 = 2.8803205427891676 // LowerBound(5), improved (Theorem 3)
+	pinnedUpperN10R09 = 3.706005528554274  // UpperBound(5)
+)
+
+// qbdBracket returns the paper's [lower, upper] mean-delay bracket for
+// SQ(2) at (n, rho), solving the cheap configurations inline and using
+// the pinned constants where the solve is test-prohibitive.
+func qbdBracket(t *testing.T, n int, rho float64) (lo, hi float64) {
+	t.Helper()
+	if n == 10 && rho == 0.9 {
+		return pinnedLowerN10R09, pinnedUpperN10R09
+	}
+	p := sqd.Params{N: n, D: 2, Rho: rho}
+	// Walk T up from 3 (sharper than the first-stable threshold, still
+	// cheap: block size ≤ 220 for these configurations).
+	for T := 3; T <= 4; T++ {
+		bp := sqd.BoundParams{Params: p, T: T}
+		hiSol, err := qbd.Solve(&sqd.UpperBound{P: bp}, qbd.Options{})
+		if err != nil {
+			continue
+		}
+		loSol, err := qbd.Solve(&sqd.LowerBound{P: bp}, qbd.Options{ImprovedLB: true})
+		if err != nil {
+			t.Fatalf("N=%d ρ=%g T=%d: lower bound: %v", n, rho, T, err)
+		}
+		return loSol.MeanDelay, hiSol.MeanDelay
+	}
+	t.Fatalf("N=%d ρ=%g: no stable upper bound by T=4", n, rho)
+	return 0, 0
+}
+
+// TestPinnedQBDBounds recomputes the pinned N=10 ρ=0.9 bracket from the
+// QBD solvers and compares. Solving at T=5 takes minutes, so it only
+// runs when FINITELB_REGEN_QBD is set.
+func TestPinnedQBDBounds(t *testing.T) {
+	if os.Getenv("FINITELB_REGEN_QBD") == "" {
+		t.Skip("set FINITELB_REGEN_QBD=1 to re-solve the pinned T=5 bracket (takes minutes)")
+	}
+	bp := sqd.BoundParams{Params: sqd.Params{N: 10, D: 2, Rho: 0.9}, T: 5}
+	lo, err := qbd.Solve(&sqd.LowerBound{P: bp}, qbd.Options{ImprovedLB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := qbd.Solve(&sqd.UpperBound{P: bp}, qbd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo.MeanDelay-pinnedLowerN10R09) > 1e-9 || math.Abs(hi.MeanDelay-pinnedUpperN10R09) > 1e-9 {
+		t.Errorf("pinned bounds stale: solved [%.16g, %.16g], pinned [%.16g, %.16g]",
+			lo.MeanDelay, hi.MeanDelay, pinnedLowerN10R09, pinnedUpperN10R09)
+	}
+}

@@ -1,0 +1,405 @@
+// Package lb is the live side of the repository: a production-style
+// concurrent load-balancer runtime that serves real traffic through the
+// same dispatch policies the discrete-event simulator and the paper's QBD
+// bound models reason about. N server goroutines drain bounded FIFO
+// queues; a dispatcher routes each incoming job by sampling a sharded
+// atomic queue-length table (SQ(d) stays O(d) with no global lock), a
+// lock-free Treiber stack serves JIQ's idle hints, and per-job service
+// requirements are rendered in real time by a self-calibrating sleeper.
+// Completions stream into a Recorder built on the simulator's own
+// statistics (internal/stats), so live measurements come out in the same
+// units — multiples of the mean service time — and can be laid directly
+// against sim.Result and the paper's finite-N delay bounds. That closure
+// is tested: the calibration suite drives this runtime with Poisson
+// arrivals and exponential service and asserts the measured mean delay
+// lands inside the QBD lower/upper bracket (see calibrate_test.go).
+//
+// The workload vocabulary is internal/workload, unchanged: any
+// workload.Policy routes live traffic exactly as it routes simulated
+// traffic, with two live-specific notes. Pickers are pooled per
+// dispatching goroutine (the interfaces are documented single-goroutine),
+// so stateful pickers like round-robin interleave across concurrent
+// clients rather than cycling globally; and the JIQ policy is served by
+// the idle stack — most-recently-idle rather than uniformly-random-idle,
+// a distinction without a delay difference on homogeneous servers since
+// either way the job starts service immediately.
+package lb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finitelb/internal/workload"
+)
+
+// ErrClosed reports a dispatch attempted after Shutdown began.
+var ErrClosed = errors.New("lb: dispatcher is shut down")
+
+// ErrQueueFull reports a job refused because the picked server's bounded
+// queue was at capacity. The caller sees loss semantics, as a real
+// admission-controlled farm would; rejections are counted in the Summary.
+var ErrQueueFull = errors.New("lb: picked server's queue is full")
+
+// Config describes a live farm.
+type Config struct {
+	// N is the number of servers (required, ≥ 1).
+	N int
+	// Policy routes each job; default SQ(2) (SQ(1) when N = 1), the
+	// paper's dispatcher. Any workload.Policy works, including the
+	// work-aware LWL.
+	Policy workload.Policy
+	// Speeds are per-server speed factors; nil means homogeneous unit
+	// speed. A job of requirement w occupies server i for
+	// w/Speeds[i] × MeanService of wall time.
+	Speeds []float64
+	// QueueCap bounds each server's queue, including the job in service;
+	// a job routed to a full queue is rejected with ErrQueueFull.
+	// Default 4096.
+	QueueCap int
+	// MeanService is the wall-clock length of one unit of work — the
+	// scale knob mapping the model's service-time unit onto real time.
+	// Default 1ms.
+	MeanService time.Duration
+	// Warmup completions are excluded from the Recorder's statistics
+	// (counted, not measured). Default 0.
+	Warmup int64
+	// BatchSize is the per-server batch size for the batch-means
+	// confidence interval. Default 200.
+	BatchSize int64
+	// Seed seeds the per-dispatcher RNGs. Live timing is inherently
+	// nondeterministic; the seed only decorrelates sampling choices.
+	// Default 1.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.N < 1 {
+		return fmt.Errorf("lb: N = %d, need at least one server", c.N)
+	}
+	if c.Policy == nil {
+		d := 2
+		if c.N == 1 {
+			d = 1
+		}
+		c.Policy = workload.SQD{D: d}
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4096
+	}
+	if c.QueueCap < 1 {
+		return fmt.Errorf("lb: queue capacity %d, need ≥ 1", c.QueueCap)
+	}
+	if c.MeanService == 0 {
+		c.MeanService = time.Millisecond
+	}
+	if c.MeanService <= 0 {
+		return fmt.Errorf("lb: mean service %v, need > 0", c.MeanService)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("lb: warmup %d, need ≥ 0", c.Warmup)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Done reports one completed job.
+type Done struct {
+	Server  int           // server that ran the job
+	Sojourn time.Duration // arrival → completion
+	Service time.Duration // nominal service duration (work/speed × MeanService)
+}
+
+// job travels from a dispatcher to a server goroutine.
+type job struct {
+	work    float64 // service requirement, work units
+	workNs  int64   // requirement × MeanService, for the LWL work table
+	arrival time.Time
+	done    chan<- Done   // nil for fire-and-forget
+	counted *atomic.Int64 // bumped at completion; lets a submitter await its own jobs
+}
+
+// LB is the live dispatcher runtime. Create with New, feed with Dispatch
+// or Do (safe for arbitrary concurrent callers), stop with Shutdown.
+type LB struct {
+	cfg           Config
+	n             int
+	meanServiceNs float64
+	speeds        []float64
+	queueCap      int32
+
+	slots   table
+	idle    *idleStack
+	servers []*server
+	rec     *Recorder
+	sleep   *sleeper
+
+	jiq       bool // Policy is workload.JIQ: dispatch via the idle stack
+	workAware bool // Policy needs the per-server work table
+
+	dispatchers sync.Pool // *dispatcher
+	seedCtr     atomic.Uint64
+
+	inflight  sync.WaitGroup // Dispatch calls between closed-check and enqueue
+	srvWG     sync.WaitGroup
+	closed    atomic.Bool
+	closeOnce sync.Once
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+}
+
+// dispatcher is the per-goroutine picking state (the workload interfaces
+// are documented single-goroutine): an RNG, a Picker, and the farm view
+// it samples. sync.Pool keeps one per P in steady state, so picks stay
+// lock-free.
+type dispatcher struct {
+	rng    *rand.Rand
+	picker workload.Picker
+	view   qview
+}
+
+// qview adapts the sharded table to the dispatcher's workload.Queues (and
+// workload.WorkQueues) interfaces. nowNs is set per dispatch so that LWL
+// sees in-service remainders at the arrival instant.
+type qview struct {
+	lb    *LB
+	nowNs int64
+}
+
+func (q *qview) N() int        { return q.lb.n }
+func (q *qview) Len(i int) int { return int(q.lb.slots[i].qlen.Load()) }
+
+// Work implements workload.WorkQueues: the server's time-to-drain in
+// service-time units — queued (not yet started) work divided by the
+// server's speed, plus the in-service wall-clock remainder.
+func (q *qview) Work(i int) float64 {
+	s := &q.lb.slots[i]
+	w := float64(s.pending.Load()) / q.lb.speeds[i]
+	if dl := s.deadline.Load(); dl != 0 {
+		if rem := dl - q.nowNs; rem > 0 {
+			w += float64(rem)
+		}
+	}
+	return w / q.lb.meanServiceNs
+}
+
+// New validates cfg, starts the N server goroutines, and returns a
+// running farm.
+func New(cfg Config) (*LB, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if _, err := cfg.Policy.NewPicker(cfg.N); err != nil {
+		return nil, err
+	}
+	speeds := cfg.Speeds
+	if speeds == nil {
+		speeds = make([]float64, cfg.N)
+		for i := range speeds {
+			speeds[i] = 1
+		}
+	} else if len(speeds) != cfg.N {
+		return nil, fmt.Errorf("lb: %d speed factors for N = %d servers", len(speeds), cfg.N)
+	}
+	for i, s := range speeds {
+		if !(s > 0) {
+			return nil, fmt.Errorf("lb: speed[%d] = %v, need > 0", i, s)
+		}
+	}
+
+	lb := &LB{
+		cfg:           cfg,
+		n:             cfg.N,
+		meanServiceNs: float64(cfg.MeanService.Nanoseconds()),
+		speeds:        speeds,
+		queueCap:      int32(cfg.QueueCap),
+		slots:         newTable(cfg.N),
+		rec:           newRecorder(cfg.N, cfg.MeanService, cfg.Warmup, cfg.BatchSize),
+		sleep:         newSleeper(),
+	}
+	_, lb.jiq = cfg.Policy.(workload.JIQ)
+	_, lb.workAware = cfg.Policy.(workload.WorkAware)
+	if lb.jiq {
+		lb.idle = newIdleStack(cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			lb.slots[i].onStack.Store(true)
+			lb.idle.push(i)
+		}
+	}
+	lb.dispatchers.New = func() any {
+		picker, err := cfg.Policy.NewPicker(cfg.N)
+		if err != nil {
+			// Unreachable: the same constructor succeeded above.
+			panic("lb: NewPicker failed after validation: " + err.Error())
+		}
+		d := &dispatcher{
+			rng:    rand.New(rand.NewPCG(cfg.Seed, lb.seedCtr.Add(1))),
+			picker: picker,
+		}
+		d.view.lb = lb
+		return d
+	}
+
+	lb.servers = make([]*server, cfg.N)
+	lb.srvWG.Add(cfg.N)
+	for i := range lb.servers {
+		lb.servers[i] = &server{
+			id:    i,
+			speed: speeds[i],
+			ch:    make(chan job, cfg.QueueCap),
+		}
+		go lb.servers[i].run(lb)
+	}
+	return lb, nil
+}
+
+// N returns the number of servers.
+func (lb *LB) N() int { return lb.n }
+
+// QueueLens snapshots every server's current queue length (including the
+// job in service) — the same view the dispatch policies sample.
+func (lb *LB) QueueLens() []int {
+	lens := make([]int, lb.n)
+	for i := range lens {
+		lens[i] = int(lb.slots[i].qlen.Load())
+	}
+	return lens
+}
+
+// Recorder exposes the live measurement stream.
+func (lb *LB) Recorder() *Recorder { return lb.rec }
+
+// Summary snapshots the current statistics, including rejects.
+func (lb *LB) Summary() Summary {
+	s := lb.rec.Snapshot()
+	s.Rejected = lb.rejected.Load()
+	return s
+}
+
+// Dispatch routes one job of the given service requirement (in work
+// units; 1.0 is a mean-sized job) to a server and returns without waiting
+// for it. The job's sojourn is recorded by the runtime.
+func (lb *LB) Dispatch(work float64) error {
+	_, err := lb.submit(work, nil, nil)
+	return err
+}
+
+// Do routes one job and waits for its completion (or ctx expiry — the job
+// itself still runs to completion and is recorded; only the wait is
+// abandoned).
+func (lb *LB) Do(ctx context.Context, work float64) (Done, error) {
+	ch := make(chan Done, 1)
+	if _, err := lb.submit(work, ch, nil); err != nil {
+		return Done{}, err
+	}
+	select {
+	case d := <-ch:
+		return d, nil
+	case <-ctx.Done():
+		return Done{}, ctx.Err()
+	}
+}
+
+func (lb *LB) submit(work float64, done chan<- Done, counted *atomic.Int64) (int, error) {
+	if !(work > 0) || work > 1e9 {
+		return -1, fmt.Errorf("lb: job work %v outside (0, 1e9]", work)
+	}
+	if lb.closed.Load() {
+		return -1, ErrClosed
+	}
+	// The inflight group brackets the closed-check-to-enqueue window:
+	// Shutdown flips closed and then waits for it, so no enqueue can race
+	// past a closed channel.
+	lb.inflight.Add(1)
+	defer lb.inflight.Done()
+	if lb.closed.Load() {
+		return -1, ErrClosed
+	}
+
+	d := lb.dispatchers.Get().(*dispatcher)
+	arrival := time.Now()
+	var target int
+	if lb.jiq {
+		// JIQ fast path: pop an idle hint in O(1); fall back to a uniform
+		// pick when nobody has reported idle.
+		var ok bool
+		if target, ok = lb.idle.tryPop(); ok {
+			lb.slots[target].onStack.Store(false)
+		} else {
+			target = d.rng.IntN(lb.n)
+		}
+	} else {
+		if lb.workAware {
+			d.view.nowNs = arrival.UnixNano()
+		}
+		target = d.picker.Pick(d.rng, &d.view)
+	}
+	lb.dispatchers.Put(d)
+
+	s := &lb.slots[target]
+	newLen := s.qlen.Add(1)
+	if newLen > lb.queueCap {
+		s.qlen.Add(-1)
+		lb.rejected.Add(1)
+		return target, ErrQueueFull
+	}
+	lb.rec.observeQueue(int(newLen))
+	j := job{work: work, arrival: arrival, done: done, counted: counted}
+	if lb.workAware {
+		j.workNs = int64(work * lb.meanServiceNs)
+		s.pending.Add(j.workNs)
+	}
+	lb.accepted.Add(1)
+	// Cannot block: qlen ≤ QueueCap bounds channel occupancy by the
+	// channel's own capacity.
+	lb.servers[target].ch <- j
+	return target, nil
+}
+
+// DrainStats reports the fate of every job accepted before Shutdown.
+type DrainStats struct {
+	Completed int64 // jobs fully served (including warmup)
+	Rejected  int64 // jobs refused on a full queue over the farm's lifetime
+	Abandoned int64 // jobs still queued when the drain deadline expired
+}
+
+// Shutdown stops admission and drains: it waits for in-flight dispatches,
+// closes the server queues, and blocks until every queued job completes
+// or ctx expires. Jobs are never lost — on deadline expiry the remaining
+// ones are counted in Abandoned (and the servers keep draining them in
+// the background; a later Shutdown call observes the progress). Safe to
+// call multiple times.
+func (lb *LB) Shutdown(ctx context.Context) (DrainStats, error) {
+	lb.closed.Store(true)
+	lb.inflight.Wait()
+	lb.closeOnce.Do(func() {
+		for _, s := range lb.servers {
+			close(s.ch)
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		lb.srvWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return DrainStats{Completed: lb.rec.Completed(), Rejected: lb.rejected.Load()}, nil
+	case <-ctx.Done():
+		// accepted is frozen (admission is closed), so accepted −
+		// completed is an exact cut of the still-queued jobs — no window
+		// against racing completions, unlike summing live queue lengths.
+		st := DrainStats{Completed: lb.rec.Completed(), Rejected: lb.rejected.Load()}
+		st.Abandoned = lb.accepted.Load() - st.Completed
+		return st, ctx.Err()
+	}
+}

@@ -1,0 +1,99 @@
+package lb
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"finitelb/internal/workload"
+)
+
+// GenConfig drives the built-in open-loop load generator: arrivals are
+// scheduled on an absolute timeline from a workload.Arrival process (so
+// pacing error never accumulates into rate drift), each job's service
+// requirement is drawn from a workload.Service law, and the offered load
+// is Rho × Σspeeds jobs per mean service time — the same parameterisation
+// as the simulator and the analytic models, which is what makes the
+// resulting Summary directly comparable to both.
+type GenConfig struct {
+	// Arrival is the interarrival process; default workload.Poisson{}.
+	Arrival workload.Arrival
+	// Service draws each job's requirement; default workload.Exponential{}.
+	Service workload.Service
+	// Rho is the per-server utilization, in (0, 1).
+	Rho float64
+	// Jobs is the number of jobs to offer (required, ≥ 1). Jobs rejected
+	// on full queues still count as offered.
+	Jobs int64
+	// Seed for the generator's arrival and service draws; default 1.
+	Seed uint64
+}
+
+// RunLoadGen offers g.Jobs jobs to the farm at the configured load,
+// waits for every accepted job to complete, and returns the resulting
+// Summary. It runs in the calling goroutine; ctx cancels early (the
+// partial Summary is still returned). The farm stays running — callers
+// own Shutdown.
+func (lb *LB) RunLoadGen(ctx context.Context, g GenConfig) (Summary, error) {
+	if g.Arrival == nil {
+		g.Arrival = workload.Poisson{}
+	}
+	if g.Service == nil {
+		g.Service = workload.Exponential{}
+	}
+	if g.Jobs < 1 {
+		return Summary{}, fmt.Errorf("lb: load generator needs ≥ 1 job, got %d", g.Jobs)
+	}
+	if !(g.Rho > 0 && g.Rho < 1) {
+		return Summary{}, fmt.Errorf("lb: load generator utilization ρ = %v outside (0, 1)", g.Rho)
+	}
+	if err := g.Service.Validate(); err != nil {
+		return Summary{}, err
+	}
+	sum := 0.0
+	for _, s := range lb.speeds {
+		sum += s
+	}
+	src, err := g.Arrival.NewSource(g.Rho * sum)
+	if err != nil {
+		return Summary{}, err
+	}
+	seed := g.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xa0761d6478bd642f))
+
+	// finished counts this generator's own completions, so the drain wait
+	// below is immune to concurrent Do/Dispatch traffic on the same farm.
+	var finished atomic.Int64
+	var accepted int64
+	next := time.Now()
+	for k := int64(0); k < g.Jobs; k++ {
+		next = next.Add(time.Duration(src.Next(rng) * lb.meanServiceNs))
+		lb.sleep.sleepUntil(next)
+		if ctx.Err() != nil {
+			break
+		}
+		switch _, err := lb.submit(g.Service.Sample(rng), nil, &finished); err {
+		case nil:
+			accepted++
+		case ErrQueueFull:
+			// Counted by the farm; open-loop generators don't retry.
+		default:
+			return lb.Summary(), err
+		}
+	}
+
+	// Drain: every accepted job completes (service times are finite), so
+	// poll completions rather than plumbing a channel per job.
+	for finished.Load() < accepted {
+		if ctx.Err() != nil {
+			return lb.Summary(), ctx.Err()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return lb.Summary(), ctx.Err()
+}

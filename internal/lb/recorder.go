@@ -1,0 +1,135 @@
+package lb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finitelb/internal/stats"
+)
+
+// Recorder accumulates live sojourn measurements in the same currency as
+// the discrete-event simulator: time normalized by the configured mean
+// service (so a sojourn of 2.0 means "two mean service times", directly
+// comparable to sim.Result and to the QBD bounds), through the same
+// stats.Stream arithmetic (Welford moments, batch-means confidence
+// intervals, fixed-width quantile histogram). Completions land in
+// per-server shards — each server goroutine only ever touches its own,
+// so the mutexes are uncontended except against Snapshot — and Snapshot
+// pools the shards exactly as the simulator pools replications.
+type Recorder struct {
+	meanServiceNs float64
+	batchSize     int64
+
+	warmupLeft atomic.Int64 // completions still to discard
+	completed  atomic.Int64 // total completions, including warmup
+	maxQueue   atomic.Int64 // largest queue length reserved by a dispatch
+
+	shards []recShard
+}
+
+type recShard struct {
+	mu      sync.Mutex
+	stream  *stats.Stream
+	service stats.Welford // realized service durations, work units
+	_       [64]byte      // keep neighbouring shards off one cache line
+}
+
+// histogram shape shared with internal/sim: 0.02 service-time resolution
+// up to 500 service times.
+const (
+	histWidth = 0.02
+	histBins  = 25_000
+)
+
+func newRecorder(n int, meanService time.Duration, warmup, batchSize int64) *Recorder {
+	r := &Recorder{
+		meanServiceNs: float64(meanService.Nanoseconds()),
+		batchSize:     batchSize,
+		shards:        make([]recShard, n),
+	}
+	r.warmupLeft.Store(warmup)
+	for i := range r.shards {
+		r.shards[i].stream = stats.NewStream(batchSize, histWidth, histBins)
+	}
+	return r
+}
+
+// record books one completion at server i: the job's full sojourn and its
+// realized (wall-clock) service duration.
+func (r *Recorder) record(i int, sojourn, service time.Duration) {
+	r.completed.Add(1)
+	if r.warmupLeft.Add(-1) >= 0 {
+		return
+	}
+	sh := &r.shards[i]
+	sh.mu.Lock()
+	sh.stream.Add(float64(sojourn) / r.meanServiceNs)
+	sh.service.Add(float64(service) / r.meanServiceNs)
+	sh.mu.Unlock()
+}
+
+// observeQueue keeps the running maximum of reserved queue lengths.
+func (r *Recorder) observeQueue(l int) {
+	for {
+		cur := r.maxQueue.Load()
+		if int64(l) <= cur || r.maxQueue.CompareAndSwap(cur, int64(l)) {
+			return
+		}
+	}
+}
+
+// Completed returns the total completions so far, including warmup.
+func (r *Recorder) Completed() int64 { return r.completed.Load() }
+
+// Summary is a point-in-time statistical snapshot of the live system, in
+// the simulator's units: times are multiples of the configured mean
+// service.
+type Summary struct {
+	MeanDelay float64 // mean sojourn, in mean service times
+	MeanWait  float64 // MeanDelay − 1 (the unit mean service)
+	HalfWidth float64 // 95% batch-means CI half-width on MeanDelay
+	Jobs      int64   // measured completions (after warmup)
+	Completed int64   // total completions, including warmup
+	Rejected  int64   // jobs refused on a full queue
+	MaxQueue  int     // largest queue length reserved by a dispatch
+
+	// Sojourn quantiles, in mean service times.
+	P50, P95, P99 float64
+
+	// MeanService is the realized mean service duration in units of the
+	// configured one — the live system's fidelity gauge. ≈1 when the
+	// compensated sleeper renders service times faithfully; a persistent
+	// excess means the host's timers are inflating service (and therefore
+	// every delay above).
+	MeanService float64
+}
+
+// Snapshot pools all shards into one Summary. It may run concurrently
+// with recording; each shard is locked only while merged.
+func (r *Recorder) Snapshot() Summary {
+	merged := stats.NewStream(r.batchSize, histWidth, histBins)
+	var service stats.Welford
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		merged.Merge(sh.stream)
+		service.Merge(sh.service)
+		sh.mu.Unlock()
+	}
+	s := Summary{
+		MeanDelay:   merged.Sojourns.Mean(),
+		MeanWait:    merged.Sojourns.Mean() - 1,
+		HalfWidth:   merged.Batch.HalfWidth(),
+		Jobs:        merged.N(),
+		Completed:   r.completed.Load(),
+		MaxQueue:    int(r.maxQueue.Load()),
+		MeanService: service.Mean(),
+	}
+	if merged.N() > 0 {
+		s.P50 = merged.Hist.Quantile(0.50)
+		s.P95 = merged.Hist.Quantile(0.95)
+		s.P99 = merged.Hist.Quantile(0.99)
+	}
+	return s
+}

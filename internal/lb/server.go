@@ -1,0 +1,63 @@
+package lb
+
+import "time"
+
+// server is one backend: a goroutine draining its bounded FIFO channel,
+// rendering each job's service requirement in real time through the
+// calibrated sleeper, and booking the completion. All cross-goroutine
+// state lives in the sharded table slot; the goroutine itself holds
+// nothing another goroutine reads.
+type server struct {
+	id    int
+	speed float64
+	ch    chan job
+}
+
+func (s *server) run(lb *LB) {
+	defer lb.srvWG.Done()
+	slot := &lb.slots[s.id]
+	// busyUntil is the server's work clock: the ideal completion instant
+	// of its previous job. Each job's deadline is computed from
+	// max(arrival, busyUntil) — the ideal FIFO schedule — rather than
+	// from the instant the goroutine got around to observing the queue.
+	// Host scheduling noise (timer overshoot, vCPU steal) therefore
+	// delays only the *observation* of each completion by its own jitter;
+	// it never compounds through the queue into inflated service times,
+	// which on contended hosts would silently push the effective
+	// utilization past saturation.
+	var busyUntil time.Time
+	for j := range s.ch {
+		start := j.arrival
+		if busyUntil.After(start) {
+			start = busyUntil
+		}
+		dur := time.Duration(j.work / s.speed * lb.meanServiceNs)
+		deadline := start.Add(dur)
+		busyUntil = deadline
+		if lb.workAware {
+			// The job leaves the queued-work ledger and becomes the
+			// in-service remainder the LWL view reads from deadline.
+			slot.pending.Add(-j.workNs)
+			slot.deadline.Store(deadline.UnixNano())
+		}
+		lb.sleep.sleepUntil(deadline)
+		if lb.workAware {
+			slot.deadline.Store(0)
+		}
+		if slot.qlen.Add(-1) == 0 && lb.jiq {
+			// Queue drained: report idle (push at most once — the flag
+			// guards against a stale stack entry from a fallback dispatch).
+			if slot.onStack.CompareAndSwap(false, true) {
+				lb.idle.push(s.id)
+			}
+		}
+		end := time.Now()
+		lb.rec.record(s.id, end.Sub(j.arrival), end.Sub(start))
+		if j.counted != nil {
+			j.counted.Add(1)
+		}
+		if j.done != nil {
+			j.done <- Done{Server: s.id, Sojourn: end.Sub(j.arrival), Service: dur}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package lb
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// sleeper renders durations in real time with far better accuracy than a
+// bare time.Sleep, whose wakeup overshoot ranges from ~50µs on an idle
+// bare-metal box to over a millisecond on virtualized or coarse-tick
+// hosts. That overshoot would otherwise inflate every service time and
+// push the live system's measured delays outside the paper's bounds — the
+// calibration this runtime exists to demonstrate.
+//
+// Strategy: learn the host's typical overshoot online (an EWMA updated
+// after every real sleep), time.Sleep only up to the learned margin short
+// of the deadline, and cooperatively yield-spin across the final stretch.
+// The spin costs at most ~one margin of CPU per sleep — negligible on
+// hosts with sharp timers, and the honest price of microsecond pacing on
+// hosts without them.
+type sleeper struct {
+	comp atomic.Int64 // EWMA of observed time.Sleep overshoot, ns
+}
+
+const (
+	initComp = int64(200 * time.Microsecond)
+	maxComp  = int64(20 * time.Millisecond)
+)
+
+func newSleeper() *sleeper {
+	s := &sleeper{}
+	s.comp.Store(initComp)
+	return s
+}
+
+// sleepUntil returns as close to deadline as the host allows, never
+// before. Deadlines in the past return immediately.
+func (s *sleeper) sleepUntil(deadline time.Time) {
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return
+		}
+		comp := time.Duration(s.comp.Load())
+		if remaining <= comp {
+			break // inside the uncertainty margin: finish by yielding
+		}
+		t0 := time.Now()
+		time.Sleep(remaining - comp)
+		s.observe(time.Since(t0) - (remaining - comp))
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// observe folds one measured sleep overshoot into the EWMA. Updates race
+// benignly across servers (each is an atomic load/store pair; a lost
+// update just slows convergence).
+func (s *sleeper) observe(overshoot time.Duration) {
+	c := s.comp.Load()
+	c += (int64(overshoot) - c) / 8
+	if c < 0 {
+		c = 0
+	}
+	if c > maxComp {
+		c = maxComp
+	}
+	s.comp.Store(c)
+}

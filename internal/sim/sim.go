@@ -100,6 +100,10 @@ type wiring struct {
 	// pre-workload loop instead of paying interface dispatch per event.
 	// Both loops are pinned to the same bit-identity goldens.
 	fastPath bool
+	// workAware marks policies that dispatch on outstanding work (LWL):
+	// the event loop then draws each job's requirement at arrival and
+	// exposes per-server work through the workload.WorkQueues view.
+	workAware bool
 }
 
 // resolve validates the workload options against p and freezes them into a
@@ -141,6 +145,7 @@ func resolve(p sqd.Params, o Options) (wiring, error) {
 	if _, err := w.policy.NewPicker(p.N); err != nil {
 		return wiring{}, err
 	}
+	_, w.workAware = w.policy.(workload.WorkAware)
 	w.fastPath = o.Speeds == nil &&
 		w.arrival == workload.Arrival(workload.Poisson{}) &&
 		w.service == workload.Service(workload.Exponential{}) &&
@@ -166,11 +171,15 @@ func (r Result) String() string {
 }
 
 // server is one FIFO queue: arrival stamps of queued jobs plus the
-// absolute completion time of the in-service job.
+// absolute completion time of the in-service job. Under a work-aware
+// policy (LWL) it additionally carries each queued job's service
+// requirement, drawn at arrival, and the total not-yet-started work.
 type server struct {
 	arrivals   []float64 // arrival times; arrivals[head] is in service
+	work       []float64 // per-job requirements, aligned with arrivals (work-aware runs only)
 	head       int
 	completion float64 // +Inf when idle
+	pending    float64 // Σ requirements of queued jobs not yet in service
 }
 
 func (s *server) length() int { return len(s.arrivals) - s.head }
@@ -183,6 +192,9 @@ func (s *server) pop() float64 {
 	// Compact occasionally so memory stays bounded on long runs.
 	if s.head > 64 && s.head*2 >= len(s.arrivals) {
 		s.arrivals = append(s.arrivals[:0], s.arrivals[s.head:]...)
+		if s.work != nil {
+			s.work = append(s.work[:0], s.work[s.head:]...)
+		}
 		s.head = 0
 	}
 	return v
@@ -249,36 +261,17 @@ func (h *heapTracker) update(id int, t float64) {
 
 func (h *heapTracker) min() (float64, int) { return h.times[0], h.ids[0] }
 
-// stream holds the raw accumulators of one simulated sojourn stream,
-// mergeable across replications.
-type stream struct {
-	sojourns stats.Welford
-	batch    *stats.BatchMeans
-	hist     *stats.Histogram
-	maxQueue int
-}
-
-// result converts merged accumulators into the public Result.
-func (s *stream) result() Result {
+// result converts a merged measurement stream into the public Result.
+func result(s *stats.Stream) Result {
 	return Result{
-		MeanDelay: s.sojourns.Mean(),
-		MeanWait:  s.sojourns.Mean() - 1,
-		HalfWidth: s.batch.HalfWidth(),
-		Jobs:      s.sojourns.N(),
-		MaxQueue:  s.maxQueue,
-		P50:       s.hist.Quantile(0.50),
-		P95:       s.hist.Quantile(0.95),
-		P99:       s.hist.Quantile(0.99),
-	}
-}
-
-// merge folds another replication's accumulators into s.
-func (s *stream) merge(o *stream) {
-	s.sojourns.Merge(o.sojourns)
-	s.batch.Merge(o.batch)
-	s.hist.Merge(o.hist)
-	if o.maxQueue > s.maxQueue {
-		s.maxQueue = o.maxQueue
+		MeanDelay: s.Sojourns.Mean(),
+		MeanWait:  s.Sojourns.Mean() - 1,
+		HalfWidth: s.Batch.HalfWidth(),
+		Jobs:      s.Sojourns.N(),
+		MaxQueue:  s.MaxQueue,
+		P50:       s.Hist.Quantile(0.50),
+		P95:       s.Hist.Quantile(0.95),
+		P99:       s.Hist.Quantile(0.99),
 	}
 }
 
@@ -306,8 +299,7 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	if opts.Replications == 1 {
-		s := runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed)
-		return s.result(), nil
+		return result(runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed)), nil
 	}
 
 	r := int64(opts.Replications)
@@ -317,7 +309,7 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 	for i := range seeds {
 		seeds[i] = seedRNG.Uint64()
 	}
-	streams, err := engine.Collect(engine.New(opts.Workers), int(r), func(i int) (*stream, error) {
+	streams, err := engine.Collect(engine.New(opts.Workers), int(r), func(i int) (*stats.Stream, error) {
 		jobs := opts.Jobs / r
 		if int64(i) < opts.Jobs%r {
 			jobs++
@@ -329,16 +321,37 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 	}
 	merged := streams[0]
 	for _, s := range streams[1:] {
-		merged.merge(s)
+		merged.Merge(s)
 	}
-	return merged.result(), nil
+	return result(merged), nil
 }
 
 // farm adapts the server slice to the dispatcher's workload.Queues view.
-type farm struct{ servers []server }
+// It also implements workload.WorkQueues for work-aware policies (LWL):
+// the event loop sets now to each arrival instant before the Pick, and
+// Work reports the server's time-to-drain at that instant — the
+// in-service remainder (completion − now, already in time units) plus the
+// queued not-yet-started requirements divided by the server's speed.
+type farm struct {
+	servers []server
+	speeds  []float64
+	now     float64
+}
 
-func (f farm) N() int        { return len(f.servers) }
-func (f farm) Len(i int) int { return f.servers[i].length() }
+func (f *farm) N() int        { return len(f.servers) }
+func (f *farm) Len(i int) int { return f.servers[i].length() }
+
+func (f *farm) Work(i int) float64 {
+	s := &f.servers[i]
+	if s.length() == 0 {
+		return 0
+	}
+	rem := s.completion - f.now
+	if rem < 0 {
+		rem = 0
+	}
+	return s.pending/f.speeds[i] + rem
+}
 
 // runStream runs one discrete-event stream. The wiring must have passed
 // resolve, so instantiating its pieces cannot fail. The default wiring
@@ -346,7 +359,7 @@ func (f farm) Len(i int) int { return f.servers[i].length() }
 // pluggable loop. Both produce the same draw sequence for the default
 // pieces, which is what keeps the bit-identity regression tests green
 // (they pin each path against the same pre-workload goldens).
-func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64) *stream {
+func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64) *stats.Stream {
 	rng := rand.New(rand.NewPCG(seed, 0x5bd1e995))
 
 	servers := make([]server, p.N)
@@ -359,10 +372,8 @@ func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint6
 	} else {
 		trk = newHeapTracker(p.N)
 	}
-	res := &stream{
-		batch: stats.NewBatchMeans(batchSize),
-		hist:  stats.NewHistogram(0.02, 25_000), // covers sojourns up to 500 service times
-	}
+	// The histogram covers sojourns up to 500 service times.
+	res := stats.NewStream(batchSize, 0.02, 25_000)
 	if w.fastPath {
 		runFastLoop(p, w.rate, servers, trk, rng, res, jobs, warmup)
 	} else {
@@ -376,7 +387,7 @@ func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint6
 // concrete types so the per-event cost carries no interface dispatch. It
 // must never change behaviour without runPluggableLoop changing in
 // lockstep — TestDefaultWorkloadBitIdentical holds both to the same bits.
-func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng *rand.Rand, res *stream, jobs, warmup int64) {
+func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng *rand.Rand, res *stats.Stream, jobs, warmup int64) {
 	perm := make([]int, p.N)
 	for i := range perm {
 		perm[i] = i
@@ -384,7 +395,7 @@ func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng 
 	nextArrival := rng.ExpFloat64() / lamN
 	var departed int64
 
-	for res.sojourns.N() < jobs {
+	for res.N() < jobs {
 		minC, minI := trk.min()
 		if nextArrival <= minC {
 			now := nextArrival
@@ -412,9 +423,7 @@ func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng 
 				sv.completion = now + rng.ExpFloat64()
 				trk.update(best, sv.completion)
 			}
-			if sv.length() > res.maxQueue {
-				res.maxQueue = sv.length()
-			}
+			res.ObserveQueue(sv.length())
 			continue
 		}
 		sv := &servers[minI]
@@ -428,10 +437,7 @@ func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng 
 		trk.update(minI, sv.completion)
 		departed++
 		if departed > warmup {
-			sojourn := now - arrivedAt
-			res.batch.Add(sojourn)
-			res.sojourns.Add(sojourn)
-			res.hist.Add(sojourn)
+			res.Add(now - arrivedAt)
 		}
 	}
 }
@@ -439,7 +445,16 @@ func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng 
 // runPluggableLoop is the workload-agnostic event loop: identical
 // structure to runFastLoop with the arrival source, dispatch picker,
 // service law, and speed factors drawn through the workload interfaces.
-func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng *rand.Rand, res *stream, jobs, warmup int64) {
+//
+// Under a work-aware policy (wiring.workAware) each job's service
+// requirement is drawn at *arrival* instead of at service start — the
+// dispatcher must know the work it is about to place — and the farm view
+// additionally satisfies workload.WorkQueues, exposing each server's
+// outstanding work (queued requirements plus the in-service remainder) at
+// the current arrival instant. The draw *sequence* therefore differs from
+// the non-work-aware loop, but each job's requirement is the same i.i.d.
+// law, so all configurations remain distributionally identical.
+func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng *rand.Rand, res *stats.Stream, jobs, warmup int64) {
 	src, err := w.arrival.NewSource(w.rate)
 	if err != nil {
 		panic("sim: unresolved wiring: " + err.Error())
@@ -450,44 +465,68 @@ func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng
 	}
 	// Box the farm view once; passing the struct would re-box (and heap
 	// allocate) on every Pick.
-	var queues workload.Queues = farm{servers: servers}
+	wf := &farm{servers: servers, speeds: w.speeds}
+	var queues workload.Queues = wf
 	svc, speeds := w.service, w.speeds
+	if w.workAware {
+		for i := range servers {
+			servers[i].work = make([]float64, 0, 16)
+		}
+	}
 
 	nextArrival := src.Next(rng)
 	var departed int64
 
-	for res.sojourns.N() < jobs {
+	for res.N() < jobs {
 		minC, minI := trk.min()
 		if nextArrival <= minC {
 			now := nextArrival
 			nextArrival = now + src.Next(rng)
-			best := picker.Pick(rng, queues)
-			sv := &servers[best]
-			sv.push(now)
-			if sv.length() == 1 {
-				sv.completion = now + svc.Sample(rng)/speeds[best]
-				trk.update(best, sv.completion)
+			var best int
+			if w.workAware {
+				wf.now = now
+				req := svc.Sample(rng)
+				best = picker.Pick(rng, queues)
+				sv := &servers[best]
+				sv.push(now)
+				sv.work = append(sv.work, req)
+				if sv.length() == 1 {
+					sv.completion = now + req/speeds[best]
+					trk.update(best, sv.completion)
+				} else {
+					sv.pending += req
+				}
+			} else {
+				best = picker.Pick(rng, queues)
+				sv := &servers[best]
+				sv.push(now)
+				if sv.length() == 1 {
+					sv.completion = now + svc.Sample(rng)/speeds[best]
+					trk.update(best, sv.completion)
+				}
 			}
-			if sv.length() > res.maxQueue {
-				res.maxQueue = sv.length()
-			}
+			res.ObserveQueue(servers[best].length())
 			continue
 		}
 		sv := &servers[minI]
 		now := sv.completion
 		arrivedAt := sv.pop()
 		if sv.length() > 0 {
-			sv.completion = now + svc.Sample(rng)/speeds[minI]
+			var req float64
+			if w.workAware {
+				req = sv.work[sv.head]
+				sv.pending -= req
+			} else {
+				req = svc.Sample(rng)
+			}
+			sv.completion = now + req/speeds[minI]
 		} else {
 			sv.completion = math.Inf(1)
 		}
 		trk.update(minI, sv.completion)
 		departed++
 		if departed > warmup {
-			sojourn := now - arrivedAt
-			res.batch.Add(sojourn)
-			res.sojourns.Add(sojourn)
-			res.hist.Add(sojourn)
+			res.Add(now - arrivedAt)
 		}
 	}
 }

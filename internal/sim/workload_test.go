@@ -157,6 +157,92 @@ func TestPolicyOrdering(t *testing.T) {
 	}
 }
 
+// TestLWLSingleServerMG1: at N = 1 every non-idling policy is the same
+// M/G/1 queue, so LWL — which exercises the work-tracking event loop, with
+// requirements drawn at arrival instead of service start — must still
+// reproduce Pollaczek–Khinchine for each service law. This pins the
+// work-aware bookkeeping (pending sums, in-service remainders) to an
+// analytic oracle.
+func TestLWLSingleServerMG1(t *testing.T) {
+	const rho = 0.7
+	pareto, err := workload.NewBoundedPareto(2.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []workload.Service{
+		workload.DeterministicService{},
+		workload.Exponential{},
+		pareto,
+	} {
+		res, err := Run(sqd.Params{N: 1, D: 1, Rho: rho},
+			Options{Jobs: 400_000, Seed: 13, Service: svc, Policy: workload.LWL{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 + rho*svc.Moment2()/(2*(1-rho))
+		if math.Abs(res.MeanDelay-want) > 5*res.HalfWidth+0.02*want {
+			t.Errorf("LWL M/G/1 %s: delay %v, want %v (CI ±%v)", svc, res.MeanDelay, want, res.HalfWidth)
+		}
+	}
+}
+
+// TestLWLOrdering: least-work-left sees actual job sizes where JSQ sees
+// only queue lengths, so under high-variance service — where a short queue
+// can hide a huge job and the length proxy is blind — LWL must beat JSQ,
+// which must beat SQ(2). Under exponential service the proxy is good and
+// LWL may only tie JSQ, so the strict separation is asserted on the
+// heavy-tailed workload.
+func TestLWLOrdering(t *testing.T) {
+	p := sqd.Params{N: 8, D: 2, Rho: 0.8}
+	pareto, err := workload.NewBoundedPareto(1.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pol workload.Policy) Result {
+		t.Helper()
+		res, err := Run(p, Options{Jobs: 1_200_000, Seed: 43, Service: pareto, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	lwl := run(workload.LWL{})
+	jsq := run(workload.JSQ{})
+	sq2 := run(workload.SQD{D: 2})
+
+	if !(lwl.MeanDelay+lwl.HalfWidth < jsq.MeanDelay-jsq.HalfWidth) {
+		t.Errorf("LWL %v ± %v not below JSQ %v ± %v under heavy-tailed service",
+			lwl.MeanDelay, lwl.HalfWidth, jsq.MeanDelay, jsq.HalfWidth)
+	}
+	if !(jsq.MeanDelay+jsq.HalfWidth < sq2.MeanDelay-sq2.HalfWidth) {
+		t.Errorf("JSQ %v not below SQ(2) %v under heavy-tailed service", jsq.MeanDelay, sq2.MeanDelay)
+	}
+}
+
+// TestLWLHeterogeneousSpeeds: Work is time-to-drain, not raw work, so on
+// a fleet with very unequal speeds LWL must exploit the fast server where
+// queue-length-based JSQ treats both as equal. A 4×-vs-1× pair at
+// moderate load separates the two cleanly; this pins the speed scaling in
+// the WorkQueues view (a raw-work comparison routes jobs to the *slower*
+// exit and lands on the wrong side).
+func TestLWLHeterogeneousSpeeds(t *testing.T) {
+	p := sqd.Params{N: 2, D: 2, Rho: 0.7}
+	run := func(pol workload.Policy) Result {
+		t.Helper()
+		res, err := Run(p, Options{Jobs: 400_000, Seed: 47, Speeds: []float64{4, 1}, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	lwl := run(workload.LWL{})
+	jsq := run(workload.JSQ{})
+	if !(lwl.MeanDelay+lwl.HalfWidth < jsq.MeanDelay-jsq.HalfWidth) {
+		t.Errorf("heterogeneous LWL %v ± %v not below JSQ %v ± %v",
+			lwl.MeanDelay, lwl.HalfWidth, jsq.MeanDelay, jsq.HalfWidth)
+	}
+}
+
 // TestHeterogeneousSpeeds: a single server at speed s is an M/M/1 queue
 // with rates (λ, μ) scaled by s, so its sojourn is 1/(s(1−ρ)); and a
 // homogeneous fleet declared at speed 2 must behave like the unit fleet on
@@ -231,6 +317,7 @@ func TestSeedDeterminismAllWorkloads(t *testing.T) {
 		"det-rr":       {Jobs: 20_000, Seed: 7, Arrival: workload.DeterministicArrivals{}, Policy: workload.RoundRobin{}},
 		"erlang-jsq":   {Jobs: 20_000, Seed: 7, Arrival: workload.ErlangArrivals{K: 2}, Service: workload.ErlangService{K: 3}, Policy: workload.JSQ{}},
 		"pareto-het":   {Jobs: 20_000, Seed: 7, Service: pareto, Speeds: []float64{1, 1, 2, 2, 4, 4}},
+		"pareto-lwl":   {Jobs: 20_000, Seed: 7, Service: pareto, Policy: workload.LWL{}},
 		"replications": {Jobs: 20_000, Seed: 7, Replications: 3, Policy: workload.Random{}},
 	} {
 		a, err := Run(p, opts)

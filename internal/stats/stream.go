@@ -1,0 +1,57 @@
+package stats
+
+// Stream bundles the accumulators of one sojourn-time measurement stream:
+// running moments (Welford), a batch-means confidence interval, a quantile
+// histogram, and the largest queue length observed. It is the shared
+// measurement currency of the repository — the discrete-event simulator
+// (internal/sim) fills one per replication and the live dispatcher runtime
+// (internal/lb) fills one per server shard — so simulated and live
+// estimates are produced by byte-for-byte the same arithmetic and are
+// directly comparable. Streams are not safe for concurrent use; accumulate
+// per goroutine and Merge.
+type Stream struct {
+	Sojourns Welford
+	Batch    *BatchMeans
+	Hist     *Histogram
+	MaxQueue int
+}
+
+// NewStream creates a stream with the given batch size for the confidence
+// interval and a quantile histogram of bins fixed-width buckets of the
+// given width.
+func NewStream(batchSize int64, binWidth float64, bins int) *Stream {
+	return &Stream{
+		Batch: NewBatchMeans(batchSize),
+		Hist:  NewHistogram(binWidth, bins),
+	}
+}
+
+// Add records one sojourn observation into every accumulator.
+func (s *Stream) Add(sojourn float64) {
+	s.Batch.Add(sojourn)
+	s.Sojourns.Add(sojourn)
+	s.Hist.Add(sojourn)
+}
+
+// ObserveQueue records a queue length; only the running maximum is kept.
+func (s *Stream) ObserveQueue(l int) {
+	if l > s.MaxQueue {
+		s.MaxQueue = l
+	}
+}
+
+// N returns the number of sojourns recorded.
+func (s *Stream) N() int64 { return s.Sojourns.N() }
+
+// Merge folds another stream into s, pooling moments, batch means, and
+// histogram counts exactly as if s had also seen o's observations (up to
+// o's partial trailing batch, which is discarded as in a single-stream
+// run). Batch sizes and histogram shapes must match.
+func (s *Stream) Merge(o *Stream) {
+	s.Sojourns.Merge(o.Sojourns)
+	s.Batch.Merge(o.Batch)
+	s.Hist.Merge(o.Hist)
+	if o.MaxQueue > s.MaxQueue {
+		s.MaxQueue = o.MaxQueue
+	}
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestStreamMergeMatchesSingleStream: merging shard streams must pool
+// moments and histogram counts exactly as one stream seeing all
+// observations (batch means agree when shards complete whole batches).
+func TestStreamMergeMatchesSingleStream(t *testing.T) {
+	const batch = 50
+	whole := NewStream(batch, 0.1, 1000)
+	a := NewStream(batch, 0.1, 1000)
+	b := NewStream(batch, 0.1, 1000)
+	rng := rand.New(rand.NewPCG(5, 9))
+	for i := 0; i < 40*batch; i++ {
+		x := rng.ExpFloat64()
+		whole.Add(x)
+		// Alternate whole batches between the shards so both slicings
+		// complete the same batch set.
+		if (i/batch)%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.ObserveQueue(3)
+	b.ObserveQueue(7)
+	a.Merge(b)
+
+	if a.N() != whole.N() {
+		t.Fatalf("merged N %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Sojourns.Mean()-whole.Sojourns.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v, want %v", a.Sojourns.Mean(), whole.Sojourns.Mean())
+	}
+	if math.Abs(a.Sojourns.Variance()-whole.Sojourns.Variance()) > 1e-9 {
+		t.Errorf("merged variance %v, want %v", a.Sojourns.Variance(), whole.Sojourns.Variance())
+	}
+	if a.Batch.Batches() != whole.Batch.Batches() {
+		t.Errorf("merged %d batches, want %d", a.Batch.Batches(), whole.Batch.Batches())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := a.Hist.Quantile(q), whole.Hist.Quantile(q); got != want {
+			t.Errorf("merged q%.2f = %v, want %v", q, got, want)
+		}
+	}
+	if a.MaxQueue != 7 {
+		t.Errorf("merged max queue %d, want 7", a.MaxQueue)
+	}
+}

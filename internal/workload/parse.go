@@ -114,6 +114,7 @@ func ParseService(spec string) (Service, error) {
 //	"sqd" | "sqd:D" | "sqd:d=D"   (D 0 means "use Params.D")
 //	"jsq"
 //	"jiq"
+//	"lwl" | "least-work-left"
 //	"round-robin" | "rr"
 //	"random" | "uniform"
 func ParsePolicy(spec string) (Policy, error) {
@@ -143,6 +144,11 @@ func ParsePolicy(spec string) (Policy, error) {
 			return nil, err
 		}
 		return JIQ{}, nil
+	case "lwl", "least-work-left":
+		if err := noArgs("policy", name, args); err != nil {
+			return nil, err
+		}
+		return LWL{}, nil
 	case "round-robin", "rr":
 		if err := noArgs("policy", name, args); err != nil {
 			return nil, err
@@ -154,7 +160,7 @@ func ParsePolicy(spec string) (Policy, error) {
 		}
 		return Random{}, nil
 	default:
-		return nil, fmt.Errorf("workload: unknown policy %q (want sqd[:D], jsq, jiq, round-robin, random)", spec)
+		return nil, fmt.Errorf("workload: unknown policy %q (want sqd[:D], jsq, jiq, lwl, round-robin, random)", spec)
 	}
 }
 
@@ -214,8 +220,14 @@ func noArgs(kind, name, args string) error {
 // conflicting keys, so a typo ("pareto:alpha=2,cap=50") or a bare value
 // restated as a named one ("erlang:4,k=5") errors instead of silently
 // simulating a different configuration. The bare first token counts as the
-// primary key.
+// primary key. Error messages restate the accepted grammar — the valid
+// keys and the key=value shape — so a flag typo is self-diagnosing.
 func checkKeys(args, primary string, secondary ...string) error {
+	grammar := func() string {
+		keys := append([]string{primary}, secondary...)
+		return fmt.Sprintf("valid keys: %s; grammar: %q, with the bare first value binding to %q",
+			strings.Join(keys, ", "), primary+"=V[,k=V...]", primary)
+	}
 	if args == "" {
 		return nil
 	}
@@ -225,7 +237,7 @@ func checkKeys(args, primary string, secondary ...string) error {
 		eq := strings.IndexByte(kv, '=')
 		if eq < 0 {
 			if i > 0 {
-				return fmt.Errorf("malformed argument %q", kv)
+				return fmt.Errorf("malformed argument %q (%s)", kv, grammar())
 			}
 			seen[primary] = true
 			continue
@@ -236,10 +248,10 @@ func checkKeys(args, primary string, secondary ...string) error {
 			known = known || k == a
 		}
 		if !known {
-			return fmt.Errorf("unknown argument %q", k)
+			return fmt.Errorf("unknown argument %q (%s)", k, grammar())
 		}
 		if seen[k] {
-			return fmt.Errorf("duplicate argument %q", k)
+			return fmt.Errorf("duplicate argument %q (%s)", k, grammar())
 		}
 		seen[k] = true
 	}

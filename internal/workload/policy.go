@@ -125,6 +125,53 @@ func (jiqPicker) Pick(rng *rand.Rand, q Queues) int {
 	return rng.IntN(n)
 }
 
+// LWL is least-work-left: join the server whose backlog drains soonest
+// (queued service requirements plus the in-service remainder, scaled by
+// the server's speed), ties broken uniformly. It sees through the
+// queue-length proxy that JSQ relies on — under high-variance
+// (heavy-tailed) service a short queue can hide an enormous job, and on
+// heterogeneous fleets a short queue can sit on a slow server — at the
+// price of knowing every job's size at dispatch time. Its picker requires
+// a WorkQueues view; hosts detect that via the WorkAware marker and turn
+// on per-job work tracking.
+type LWL struct{}
+
+// NewPicker implements Policy.
+func (LWL) NewPicker(n int) (Picker, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: LWL needs n ≥ 1, got %d", n)
+	}
+	return lwlPicker{}, nil
+}
+
+func (LWL) String() string { return "lwl" }
+
+// NeedsWork marks LWL as WorkAware.
+func (LWL) NeedsWork() {}
+
+type lwlPicker struct{}
+
+func (lwlPicker) Pick(rng *rand.Rand, q Queues) int {
+	wq, ok := q.(WorkQueues)
+	if !ok {
+		panic("workload: LWL picker needs a WorkQueues view (host did not enable work tracking)")
+	}
+	n := wq.N()
+	best, bestWork, ties := 0, wq.Work(0), 1
+	for i := 1; i < n; i++ {
+		switch w := wq.Work(i); {
+		case w < bestWork:
+			best, bestWork, ties = i, w, 1
+		case w == bestWork:
+			ties++
+			if rng.IntN(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
 // RoundRobin cycles through the servers in order, ignoring queue state
 // entirely; with deterministic arrivals each server sees a D/M/1 queue,
 // the oracle the tests use.

@@ -66,6 +66,31 @@ type Queues interface {
 	Len(i int) int
 }
 
+// WorkQueues extends Queues with per-server backlog, the state a
+// size-based policy (LWL) dispatches on. Work is measured in *time to
+// drain* — the queued jobs' requirements plus the in-service remainder,
+// divided by the server's speed — because that, not raw work, is what an
+// arriving job will wait behind: on a heterogeneous fleet a fast server
+// holding more work can still be the earlier exit. On unit-speed fleets
+// the two notions coincide. Hosts that cannot track per-job work simply
+// don't implement the interface.
+type WorkQueues interface {
+	Queues
+	// Work returns the time server i needs to drain its current backlog,
+	// ≥ 0, in service-time units.
+	Work(i int) float64
+}
+
+// WorkAware marks policies whose pickers require a WorkQueues view. Hosts
+// (the simulator event loop, the live runtime) check for it when wiring a
+// policy and switch on per-job work tracking — each job's service
+// requirement is then drawn at arrival so the dispatcher can see it.
+type WorkAware interface {
+	Policy
+	// NeedsWork is a marker; it is never called.
+	NeedsWork()
+}
+
 // Policy describes a dispatch policy. NewPicker instantiates the
 // per-stream state for a farm of n servers and reports configuration
 // errors (e.g. SQ(d) with d > n).

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 )
 
@@ -143,7 +144,36 @@ func TestPickerBehaviour(t *testing.T) {
 			t.Fatalf("SQ(4)=JSQ picked server %d with %d jobs", id, q.Len(id))
 		}
 	}
+
+	// LWL follows outstanding work, not queue length: server 3 has the
+	// longest queue but the least work, and must always win.
+	lwl, _ := LWL{}.NewPicker(4)
+	wq := workView{lens: []int{1, 1, 1, 3}, works: []float64{5, 2.5, 0.7, 0.2}}
+	for i := 0; i < 50; i++ {
+		if id := lwl.Pick(rng, wq); id != 3 {
+			t.Fatalf("LWL picked server %d (work %v); server 3 has the least work", id, wq.works[id])
+		}
+	}
+	// All-idle ties break across every server.
+	idleW := workView{lens: []int{0, 0, 0, 0}, works: []float64{0, 0, 0, 0}}
+	seen = map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[lwl.Pick(rng, idleW)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("LWL tie breaking visited only %d of 4 idle servers", len(seen))
+	}
 }
+
+// workView is a static WorkQueues for picker tests.
+type workView struct {
+	lens  []int
+	works []float64
+}
+
+func (q workView) N() int             { return len(q.lens) }
+func (q workView) Len(i int) int      { return q.lens[i] }
+func (q workView) Work(i int) float64 { return q.works[i] }
 
 // TestParseRoundTrip: every concrete configuration renders a spec string
 // that parses back to an equal configuration.
@@ -176,7 +206,7 @@ func TestParseRoundTrip(t *testing.T) {
 			t.Errorf("service %q parsed to %q (E[S²] %v vs %v)", s.String(), got.String(), got.Moment2(), s.Moment2())
 		}
 	}
-	for _, p := range []Policy{SQD{D: 3}, JSQ{}, JIQ{}, RoundRobin{}, Random{}} {
+	for _, p := range []Policy{SQD{D: 3}, JSQ{}, JIQ{}, LWL{}, RoundRobin{}, Random{}} {
 		got, err := ParsePolicy(p.String())
 		if err != nil {
 			t.Fatalf("ParsePolicy(%q): %v", p.String(), err)
@@ -203,7 +233,7 @@ func TestParseErrors(t *testing.T) {
 			t.Errorf("ParseService(%q) accepted", spec)
 		}
 	}
-	for _, spec := range []string{"nope", "sqd:d=-2", "jsq:3", "rr:x", "sqd:q=2"} {
+	for _, spec := range []string{"nope", "sqd:d=-2", "jsq:3", "rr:x", "sqd:q=2", "lwl:2"} {
 		if _, err := ParsePolicy(spec); err == nil {
 			t.Errorf("ParsePolicy(%q) accepted", spec)
 		}
@@ -211,6 +241,32 @@ func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{"1,1", "1,1,1,1,1", "0,1,1,1", "x", "1x3,1x2", "2x0,1x4"} {
 		if _, err := ParseSpeeds(spec, 4); err == nil {
 			t.Errorf("ParseSpeeds(%q, 4) accepted", spec)
+		}
+	}
+}
+
+// TestParseErrorsSurfaceGrammar: an argument typo must come back with the
+// accepted keys and shape in the message, not a bare "unknown argument".
+func TestParseErrorsSurfaceGrammar(t *testing.T) {
+	for _, tc := range []struct {
+		spec    string
+		parse   func(string) (any, error)
+		needles []string
+	}{
+		{"pareto:alpha=2,cap=50", func(s string) (any, error) { return ParseService(s) }, []string{"cap", "valid keys", "alpha", "h"}},
+		{"erlang:4,k=5", func(s string) (any, error) { return ParseService(s) }, []string{"duplicate", "valid keys", "k"}},
+		{"sqd:q=2", func(s string) (any, error) { return ParsePolicy(s) }, []string{"valid keys", "d"}},
+		{"hyperexp:cv=4", func(s string) (any, error) { return ParseArrival(s) }, []string{"valid keys", "cv2"}},
+	} {
+		_, err := tc.parse(tc.spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", tc.spec)
+			continue
+		}
+		for _, want := range tc.needles {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error for %q does not surface %q: %v", tc.spec, want, err)
+			}
 		}
 	}
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# bench_lb.sh — run the internal/lb dispatch-hot-path benchmarks and emit
+# BENCH_lb.json at the repository root: one record per benchmark with
+# ns/dispatch, derived jobs/sec, and allocation counts. This file seeds the
+# performance trajectory — rerun after touching the dispatch path and diff.
+#
+# Usage:  scripts/bench_lb.sh            # default 0.5s per benchmark
+#         BENCHTIME=2s scripts/bench_lb.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench 'BenchmarkDispatch|BenchmarkPick' -benchmem \
+    -benchtime "${BENCHTIME:-0.5s}" ./internal/lb | tee "$raw"
+
+awk '
+/^goos|^goarch|^cpu/ { meta[$1] = substr($0, index($0, $2)); next }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    printf("%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"jobs_per_sec\":%.0f,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+           sep, name, $2, $3, 1e9 / $3, $5, $7)
+    sep = ",\n"
+}
+END {
+    printf("\n  ],\n")
+    printf("  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", meta["goos:"], meta["goarch:"], meta["cpu:"])
+    printf("  \"unit\": \"ns per dispatch\"\n}\n")
+}
+BEGIN { printf("{\n  \"benchmarks\": [\n") }
+' "$raw" > BENCH_lb.json
+
+echo "wrote BENCH_lb.json ($(grep -c '"name"' BENCH_lb.json) benchmarks)"

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# smoke_lbd.sh — build-and-smoke cmd/lbd, exercised by CI: the load
+# generator end to end, then the HTTP surface (healthz, 100 dispatches,
+# metrics scrape) and a clean SIGTERM drain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)/lbd
+go build -o "$bin" ./cmd/lbd
+
+echo "== loadgen mode =="
+"$bin" -loadgen 200 -n 4 -d 2 -rho 0.6 -mean-service 1ms -warmup 20
+
+echo "== serve mode =="
+addr=127.0.0.1:8097
+"$bin" -addr "$addr" -n 4 -mean-service 1ms &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "http://$addr/healthz" | grep -q ok
+
+for _ in $(seq 1 100); do
+    curl -fsS -X POST "http://$addr/work?work=0.5" >/dev/null
+done
+
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q '^lbd_jobs_completed_total 100$'
+echo "$metrics" | grep -q '^lbd_jobs_rejected_total 0$'
+echo "$metrics" | grep -q '^lbd_delay_mean_service_times '
+echo "$metrics" | grep -q 'lbd_queue_length{server="3"}'
+
+kill -TERM "$pid"
+wait "$pid"
+trap - EXIT
+echo "lbd smoke OK"
