@@ -24,6 +24,19 @@
 // analytic QBD delay bracket the measurement should (and does) land in:
 //
 //	lbd -loadgen 20000 -n 10 -d 2 -rho 0.9 -arrival poisson -mean-service 2ms
+//
+// -dispatchers D fans the generated load across D concurrent dispatcher
+// goroutines sharing the farm (the multi-front-end model), and -batch K
+// bounds how many overdue arrivals one dispatcher drains per wake-up when
+// the offered rate outruns per-job pacing. At N ≥ 64, JSQ and LWL route
+// through the hierarchical min-index (see internal/minindex), so -n 10000
+// farms dispatch in O(log N).
+//
+// -pprof ADDR (e.g. -pprof :6060) serves net/http/pprof on a separate
+// listener in either mode, so dispatch-path profiles can be captured from
+// a live farm:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -59,6 +73,9 @@ func main() {
 		warmup      = flag.Int64("warmup", 0, "completions excluded from statistics")
 		seed        = flag.Uint64("seed", 1, "RNG seed for sampling choices and drawn workloads")
 		loadgen     = flag.Int64("loadgen", 0, "run the built-in load generator for this many jobs and exit (0 = serve HTTP)")
+		dispatchers = flag.Int("dispatchers", 1, "concurrent dispatcher goroutines sharing the farm (loadgen mode)")
+		burstBatch  = flag.Int("batch", 64, "max overdue arrivals one dispatcher drains per wake-up (loadgen mode)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060); empty = off")
 	)
 	flag.Parse()
 
@@ -105,8 +122,12 @@ func main() {
 		fatal(err)
 	}
 
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+
 	if *loadgen > 0 {
-		if err := runLoadGen(farm, arr, svc, pol, *n, *d, *rho, *loadgen, *seed); err != nil {
+		if err := runLoadGen(farm, arr, svc, pol, *n, *d, *rho, *loadgen, *seed, *dispatchers, *burstBatch); err != nil {
 			fatal(err)
 		}
 		return
@@ -114,14 +135,38 @@ func main() {
 	serve(farm, svc, *addr, *seed)
 }
 
+// servePprof runs the opt-in profiling listener. It is deliberately a
+// separate server on a separate address: profiles are an operator
+// surface, not something to expose on the farm's public port.
+func servePprof(addr string) {
+	fmt.Printf("lbd: pprof on %s\n", addr)
+	if err := http.ListenAndServe(addr, pprofMux()); err != nil {
+		fmt.Fprintln(os.Stderr, "lbd: pprof:", err)
+	}
+}
+
+// pprofMux builds the net/http/pprof handler explicitly (rather than
+// through the package's DefaultServeMux side effects); split out for
+// tests.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // runLoadGen drives the farm and prints the measurement next to the
 // analytic bracket where one exists.
-func runLoadGen(farm *lb.LB, arr workload.Arrival, svc workload.Service, pol workload.Policy, n, d int, rho float64, jobs int64, seed uint64) error {
-	fmt.Printf("offering %d jobs: %s arrivals at ρ=%g, %s service, policy %s\n",
-		jobs, specName(arr, "poisson"), rho, svc, pol)
+func runLoadGen(farm *lb.LB, arr workload.Arrival, svc workload.Service, pol workload.Policy, n, d int, rho float64, jobs int64, seed uint64, dispatchers, batch int) error {
+	fmt.Printf("offering %d jobs: %s arrivals at ρ=%g, %s service, policy %s, %d dispatcher(s)\n",
+		jobs, specName(arr, "poisson"), rho, svc, pol, max(dispatchers, 1))
 	t0 := time.Now()
 	s, err := farm.RunLoadGen(context.Background(), lb.GenConfig{
 		Arrival: arr, Service: svc, Rho: rho, Jobs: jobs, Seed: seed,
+		Dispatchers: dispatchers, Batch: batch,
 	})
 	if err != nil {
 		return err

@@ -114,6 +114,41 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 }
 
+// TestPprofEndpoint covers the -pprof surface: the explicit mux must
+// serve the pprof index and the profile subpages.
+func TestPprofEndpoint(t *testing.T) {
+	mux := pprofMux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /debug/pprof/: %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "goroutine") || !strings.Contains(body, "heap") {
+		t.Errorf("pprof index missing profile links:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/goroutine?debug=1", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("GET /debug/pprof/goroutine: %d %q", rec.Code, rec.Body.String()[:min(120, rec.Body.Len())])
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Errorf("GET /debug/pprof/cmdline: %d", rec.Code)
+	}
+
+	// The profiling mux must stay off the serve-mode mux: operators opt in
+	// with -pprof on a separate listener.
+	rec = httptest.NewRecorder()
+	newMux(testFarm(t), workload.Exponential{}, 1).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == 200 {
+		t.Error("serve-mode mux exposes /debug/pprof/ without -pprof")
+	}
+}
+
 // TestBusyFarmReturns503: a full bounded queue surfaces as 503, the
 // admission-control contract.
 func TestBusyFarmReturns503(t *testing.T) {

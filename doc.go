@@ -150,4 +150,47 @@
 // never inflates the queueing dynamics themselves. Dispatch benchmarks
 // for the hot path live in internal/lb/bench_test.go; scripts/bench_lb.sh
 // records them to BENCH_lb.json.
+//
+// # Dispatch at scale
+//
+// SQ(d) samples d queues per job, but the global-information policies —
+// JSQ over queue lengths, LWL over outstanding work — need an argmin over
+// all N, and the reference O(N) scan prices that at ~9–12µs per pick at
+// N=1000, capping a live farm near 80k dispatches/sec exactly where
+// large-N experiments get interesting. internal/minindex removes the
+// asymptote: a tournament min-tree over the per-server keys maintains
+// (min, tie count) at every node, giving O(log N) repair per state change
+// and O(log N) argmin per pick, with ties broken *exactly* uniformly by
+// descending on tie counts — the same unbiasedness contract the scan
+// pickers satisfy (reservoir tie-breaking plus a rotated scan origin, so
+// a directional pass over live queues cannot favour low-numbered
+// servers).
+//
+// The index activates by size: at N ≥ minindex.Threshold (64) the
+// simulator's farm view mounts a sequential tree and the live runtime
+// mounts a lock-free one over its padded atomic slot table; below it both
+// keep the scan, which beats tree walks on a few cache lines. The
+// selection is invisible through the workload.Picker interface — JSQ and
+// LWL ask their Queues view for workload.ArgminQueues/ArgminWorkQueues
+// and fall back to scanning when the host offers no index — and changes
+// only rng consumption, never the policy's law (pinned by agreement and
+// seed-determinism tests in internal/sim). The live tree is repaired by
+// compare-and-swap with per-node version tags; a randomized property test
+// drives concurrent enqueue/complete churn under -race and asserts the
+// tree's argmin matches a naive scan of the atomic table at every
+// quiescent point. The live LWL index keys on outstanding nominal work
+// (dispatch → completion, µs-quantized, speed-scaled) rather than the
+// scan view's decaying in-service remainder; the two orderings agree
+// whenever backlogs differ by at least one job.
+//
+// The dispatch path is also multi-producer: lb.GenConfig.Dispatchers fans
+// the open-loop generator across D goroutines sharing one farm (table,
+// index, idle stack) — the multi-front-end model, cmd/lbd -dispatchers —
+// and GenConfig.Batch (-batch) lets each dispatcher drain up to K overdue
+// arrivals per sleeper wake-up, amortizing pacing costs under burst.
+// BenchmarkDispatchContended/D={1,2,4,8} tracks the shared-state cost of
+// fan-in (on a single-core host ns/op holding flat as D grows is the
+// no-collapse ceiling; scaling with D needs cores), and the N=10000 rows
+// in BENCH_lb.json record the sub-µs indexed picks two decades past where
+// the scan gave out.
 package finitelb

@@ -1,0 +1,202 @@
+package lb
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"finitelb/internal/minindex"
+	"finitelb/internal/workload"
+)
+
+// The live min-index tests drive the real dispatch pipeline — concurrent
+// submitters racing server completions over the shared slot table — and
+// check the tree against a naive scan of that table at quiescent points.
+// CI's race job runs this package, so the whole multi-producer path is
+// covered under -race.
+
+// TestLiveLenIndexMatchesTable floods an indexed JSQ farm whose servers
+// are too slow to complete anything during the flood, then compares the
+// tree's min and argmin against a scan of the table.
+func TestLiveLenIndexMatchesTable(t *testing.T) {
+	n := 2 * minindex.Threshold
+	farm, err := New(Config{N: n, Policy: workload.JSQ{}, MeanService: 30 * time.Second, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		farm.Shutdown(ctx) // jobs are deliberately unfinishable; abandon them
+	}()
+	if farm.lenTree == nil {
+		t.Fatalf("JSQ at N=%d ≥ threshold %d did not build a length index", n, minindex.Threshold)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 40; k++ {
+				if err := farm.Dispatch(1); err != nil && !errors.Is(err, ErrQueueFull) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Quiescent: no dispatches in flight, no completions possible yet.
+	lens := farm.QueueLens()
+	minLen := lens[0]
+	for _, l := range lens[1:] {
+		if l < minLen {
+			minLen = l
+		}
+	}
+	if got := int(farm.lenTree.Min()); got != minLen {
+		t.Errorf("index min %d, table scan %d (lens %v)", got, minLen, lens)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for k := 0; k < 50; k++ {
+		if am := farm.lenTree.Argmin(rng); lens[am] != minLen {
+			t.Errorf("index argmin %d has length %d, min is %d", am, lens[am], minLen)
+		}
+	}
+	// JSQ with 320 jobs over 128 servers must have spread them 2-3 per
+	// server — a stale or broken index would let queues skew.
+	for i, l := range lens {
+		if l > 4 {
+			t.Errorf("server %d queued %d jobs under indexed JSQ; index is steering badly", i, l)
+		}
+	}
+}
+
+// TestLiveWorkIndexMatchesTable is the LWL counterpart: the outwork ledger
+// feeds the index, and after a concurrent flood the tree's argmin must sit
+// on a least-loaded server by that ledger.
+func TestLiveWorkIndexMatchesTable(t *testing.T) {
+	n := 2 * minindex.Threshold
+	farm, err := New(Config{N: n, Policy: workload.LWL{}, MeanService: 30 * time.Second, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		farm.Shutdown(ctx)
+	}()
+	if farm.workTree == nil {
+		t.Fatalf("LWL at N=%d ≥ threshold %d did not build a work index", n, minindex.Threshold)
+	}
+
+	var wg sync.WaitGroup
+	rngs := make([]*rand.Rand, 8)
+	for w := range rngs {
+		rngs[w] = rand.New(rand.NewPCG(uint64(w+1), 77))
+	}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(r *rand.Rand) {
+			defer wg.Done()
+			for k := 0; k < 40; k++ {
+				if err := farm.Dispatch(0.25 + 2*r.Float64()); err != nil && !errors.Is(err, ErrQueueFull) {
+					t.Error(err)
+					return
+				}
+			}
+		}(rngs[w])
+	}
+	wg.Wait()
+
+	outwork := make([]int64, n)
+	minWork := int64(1<<63 - 1)
+	for i := range outwork {
+		outwork[i] = farm.slots[i].outwork.Load()
+		if outwork[i] < minWork {
+			minWork = outwork[i]
+		}
+	}
+	// The index keys at µs resolution; accept any argmin within one
+	// quantum of the scan's minimum.
+	const quantumNs = 1000
+	rng := rand.New(rand.NewPCG(3, 4))
+	for k := 0; k < 50; k++ {
+		if am := farm.workTree.Argmin(rng); outwork[am]/quantumNs > minWork/quantumNs {
+			t.Errorf("work index argmin %d holds %dns, table minimum is %dns", am, outwork[am], minWork)
+		}
+	}
+}
+
+// TestLiveIndexSurvivesChurn runs an indexed JSQ farm end to end with real
+// completions (fast service) and verifies the index drains back to the
+// all-zero state the table shows after shutdown.
+func TestLiveIndexSurvivesChurn(t *testing.T) {
+	n := 2 * minindex.Threshold
+	farm, err := New(Config{N: n, Policy: workload.JSQ{}, MeanService: 50 * time.Microsecond, QueueCap: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				for {
+					err := farm.Dispatch(1)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrQueueFull) {
+						t.Error(err)
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	st, err := farm.Shutdown(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 8*500 {
+		t.Errorf("completed %d of %d", st.Completed, 8*500)
+	}
+	if got := farm.lenTree.Min(); got != 0 {
+		t.Errorf("drained farm's index min = %d, want 0", got)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	if am := farm.lenTree.Argmin(rng); am < 0 || am >= n {
+		t.Errorf("drained farm's argmin out of range: %d", am)
+	}
+}
+
+// TestSmallFarmsSkipIndex: below the threshold the scan remains the
+// implementation — no tree is built and dispatch still works.
+func TestSmallFarmsSkipIndex(t *testing.T) {
+	farm, err := New(Config{N: 4, Policy: workload.JSQ{}, MeanService: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Shutdown(context.Background())
+	if farm.lenTree != nil || farm.workTree != nil {
+		t.Fatal("N=4 built a min-index; the scan should serve small farms")
+	}
+	for i := 0; i < 32; i++ {
+		if err := farm.Dispatch(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

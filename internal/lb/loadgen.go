@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,13 +30,31 @@ type GenConfig struct {
 	Jobs int64
 	// Seed for the generator's arrival and service draws; default 1.
 	Seed uint64
+	// Dispatchers fans the offered load across this many concurrent
+	// generator goroutines sharing the one farm (table, min-index, idle
+	// stack): each runs an independent arrival source at rate λ/D with its
+	// own rng, the model of several front-end dispatchers feeding one
+	// server pool. For Poisson arrivals the superposition is exactly the
+	// single-dispatcher process; for other laws it is the natural
+	// multi-dispatcher analogue (independent thinned streams), not a
+	// sample-path split of one stream. Default 1, which reproduces the
+	// single-dispatcher generator draw for draw.
+	Dispatchers int
+	// Batch bounds how many overdue arrivals one dispatcher drains per
+	// sleeper wake-up. When the generator falls behind its absolute
+	// timeline (a burst, or simply a rate beyond one goroutine's
+	// sleep/wake throughput) it submits up to Batch due jobs back to back
+	// on a single wake-up and a single clock read, amortizing the
+	// per-arrival pacing cost; on-schedule traffic is untouched (every
+	// burst has length 1). Default 64.
+	Batch int
 }
 
 // RunLoadGen offers g.Jobs jobs to the farm at the configured load,
 // waits for every accepted job to complete, and returns the resulting
-// Summary. It runs in the calling goroutine; ctx cancels early (the
-// partial Summary is still returned). The farm stays running — callers
-// own Shutdown.
+// Summary. It blocks the calling goroutine (spawning g.Dispatchers
+// workers); ctx cancels early (the partial Summary is still returned).
+// The farm stays running — callers own Shutdown.
 func (lb *LB) RunLoadGen(ctx context.Context, g GenConfig) (Summary, error) {
 	if g.Arrival == nil {
 		g.Arrival = workload.Poisson{}
@@ -52,48 +71,106 @@ func (lb *LB) RunLoadGen(ctx context.Context, g GenConfig) (Summary, error) {
 	if err := g.Service.Validate(); err != nil {
 		return Summary{}, err
 	}
+	if g.Dispatchers < 0 {
+		return Summary{}, fmt.Errorf("lb: %d dispatchers, need ≥ 1", g.Dispatchers)
+	}
+	D := g.Dispatchers
+	if D == 0 {
+		D = 1
+	}
+	if int64(D) > g.Jobs {
+		D = int(g.Jobs)
+	}
+	K := g.Batch
+	if K < 1 {
+		K = 64
+	}
 	sum := 0.0
 	for _, s := range lb.speeds {
 		sum += s
 	}
-	src, err := g.Arrival.NewSource(g.Rho * sum)
-	if err != nil {
+	// Validate the arrival configuration once up front; per-dispatcher
+	// sources are instantiated inside each worker.
+	if _, err := g.Arrival.NewSource(g.Rho * sum / float64(D)); err != nil {
 		return Summary{}, err
 	}
 	seed := g.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	rng := rand.New(rand.NewPCG(seed, 0xa0761d6478bd642f))
 
 	// finished counts this generator's own completions, so the drain wait
 	// below is immune to concurrent Do/Dispatch traffic on the same farm.
-	var finished atomic.Int64
-	var accepted int64
-	next := time.Now()
-	for k := int64(0); k < g.Jobs; k++ {
-		next = next.Add(time.Duration(src.Next(rng) * lb.meanServiceNs))
-		lb.sleep.sleepUntil(next)
-		if ctx.Err() != nil {
-			break
+	var finished, accepted atomic.Int64
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < D; w++ {
+		jobs := g.Jobs / int64(D)
+		if int64(w) < g.Jobs%int64(D) {
+			jobs++
 		}
-		switch _, err := lb.submit(g.Service.Sample(rng), nil, &finished); err {
-		case nil:
-			accepted++
-		case ErrQueueFull:
-			// Counted by the farm; open-loop generators don't retry.
-		default:
-			return lb.Summary(), err
+		src, err := g.Arrival.NewSource(g.Rho * sum / float64(D))
+		if err != nil {
+			return Summary{}, err // unreachable: validated above
 		}
+		// Worker 0 with D=1 reproduces the historical single-dispatcher
+		// stream exactly; further workers decorrelate by the xor.
+		rng := rand.New(rand.NewPCG(seed, 0xa0761d6478bd642f^uint64(w)))
+		wg.Add(1)
+		go func(jobs int64, src workload.Source, rng *rand.Rand) {
+			defer wg.Done()
+			if err := lb.generate(ctx, g.Service, src, rng, jobs, K, &finished, &accepted); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(jobs, src, rng)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return lb.Summary(), firstErr
 	}
 
 	// Drain: every accepted job completes (service times are finite), so
 	// poll completions rather than plumbing a channel per job.
-	for finished.Load() < accepted {
+	for finished.Load() < accepted.Load() {
 		if ctx.Err() != nil {
 			return lb.Summary(), ctx.Err()
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	return lb.Summary(), ctx.Err()
+}
+
+// generate is one dispatcher goroutine: an absolute-timeline open loop
+// that, on each wake-up, drains every arrival already due (up to the
+// batch bound) before sleeping toward the next one.
+func (lb *LB) generate(ctx context.Context, svc workload.Service, src workload.Source, rng *rand.Rand, jobs int64, batch int, finished, accepted *atomic.Int64) error {
+	next := time.Now().Add(time.Duration(src.Next(rng) * lb.meanServiceNs))
+	for k := int64(0); k < jobs; {
+		lb.sleep.sleepUntil(next)
+		if ctx.Err() != nil {
+			return nil
+		}
+		now := time.Now()
+		for b := 0; b < batch; b++ {
+			switch _, err := lb.submitAt(now, svc.Sample(rng), nil, finished); err {
+			case nil:
+				accepted.Add(1)
+			case ErrQueueFull:
+				// Counted by the farm; open-loop generators don't retry.
+			default:
+				return err
+			}
+			k++
+			next = next.Add(time.Duration(src.Next(rng) * lb.meanServiceNs))
+			if k == jobs || next.After(now) {
+				break
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,87 @@
+package lb
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"finitelb/internal/minindex"
+	"finitelb/internal/workload"
+)
+
+// TestLoadGenMultiDispatcher fans the generator across several goroutines
+// sharing one indexed farm: every offered job must be accounted for
+// (completed + rejected = offered) and the measured stream stays sane.
+// CI's race job runs this, covering the D-producer dispatch path.
+func TestLoadGenMultiDispatcher(t *testing.T) {
+	n := minindex.Threshold // indexed JSQ plus fan-in on one table
+	farm, err := New(Config{N: n, Policy: workload.JSQ{}, MeanService: 100 * time.Microsecond, QueueCap: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if _, err := farm.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	const jobs = 6000
+	s, err := farm.RunLoadGen(context.Background(), GenConfig{
+		Rho: 0.7, Jobs: jobs, Seed: 5, Dispatchers: 4, Batch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed+s.Rejected != jobs {
+		t.Errorf("offered %d jobs, completed %d + rejected %d = %d",
+			jobs, s.Completed, s.Rejected, s.Completed+s.Rejected)
+	}
+	if !(s.MeanDelay >= 1) {
+		t.Errorf("mean delay %v below one service time", s.MeanDelay)
+	}
+	if got := farm.lenTree.Min(); got != 0 {
+		t.Errorf("drained farm's length index min = %d, want 0", got)
+	}
+}
+
+// TestLoadGenDispatcherEdgeCases: D capped at Jobs, and invalid D refused.
+func TestLoadGenDispatcherEdgeCases(t *testing.T) {
+	farm, err := New(Config{N: 2, MeanService: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Shutdown(context.Background())
+
+	if _, err := farm.RunLoadGen(context.Background(), GenConfig{Rho: 0.5, Jobs: 3, Dispatchers: 8, Batch: 4}); err != nil {
+		t.Errorf("D > Jobs: %v", err)
+	}
+	if _, err := farm.RunLoadGen(context.Background(), GenConfig{Rho: 0.5, Jobs: 3, Dispatchers: -1}); err == nil {
+		t.Error("negative dispatcher count accepted")
+	}
+}
+
+// TestLoadGenBurstBatching runs a farm whose offered rate far outstrips
+// one sleep/wake per job, forcing the burst path; accounting must hold
+// and the run must finish quickly (the point of batching).
+func TestLoadGenBurstBatching(t *testing.T) {
+	farm, err := New(Config{N: 8, MeanService: time.Microsecond, QueueCap: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Shutdown(context.Background())
+
+	const jobs = 30000 // at ~1µs mean service and ρ=0.9: ~7.2M arrivals/sec offered
+	start := time.Now()
+	s, err := farm.RunLoadGen(context.Background(), GenConfig{Rho: 0.9, Jobs: jobs, Seed: 3, Batch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed+s.Rejected != jobs {
+		t.Errorf("offered %d, completed %d + rejected %d", jobs, s.Completed, s.Rejected)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("burst run took %v; batching is not engaging", elapsed)
+	}
+}

@@ -51,6 +51,15 @@ func (s *server) run(lb *LB) {
 				lb.idle.push(s.id)
 			}
 		}
+		if lb.lenTree != nil {
+			lb.lenTree.Update(s.id)
+		}
+		if lb.workTree != nil {
+			// The job's nominal work leaves the LWL index only now, at
+			// completion, so the index keeps counting the in-service job.
+			slot.outwork.Add(-j.workNs)
+			lb.workTree.Update(s.id)
+		}
 		end := time.Now()
 		lb.rec.record(s.id, end.Sub(j.arrival), end.Sub(start))
 		if j.counted != nil {

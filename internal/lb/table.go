@@ -19,6 +19,13 @@ type slot struct {
 	// service, 0 when none; maintained only under a work-aware policy. The
 	// LWL view adds the remainder deadline−now to pending.
 	deadline atomic.Int64
+	// outwork is the server's outstanding nominal work in work-nanoseconds
+	// — every accepted job's requirement from dispatch until *completion*
+	// (unlike pending, which a job leaves at service start). It is the
+	// authoritative key behind the LWL min-index and is maintained only
+	// when that index is active (policy LWL at N ≥ minindex.Threshold);
+	// the scan path keeps reading pending + deadline.
+	outwork atomic.Int64
 	// qlen is the queue length including the job in service — the value
 	// behind the workload.Queues view every picker samples. The dispatcher
 	// increments it to reserve a queue position (rolling back on a full
@@ -30,7 +37,7 @@ type slot struct {
 	// stack: only a false→true transition pushes.
 	onStack atomic.Bool
 
-	_ [128 - 8 - 8 - 4 - 1]byte
+	_ [128 - 8 - 8 - 8 - 4 - 1]byte
 }
 
 // table is the farm's sharded atomic state, one padded slot per server.

@@ -1,0 +1,233 @@
+package minindex
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// naiveMin scans a key slice the way the reference pickers scan the farm.
+func naiveMin(keys []uint32) (uint32, int) {
+	best, cnt := keys[0], 1
+	for _, k := range keys[1:] {
+		switch {
+		case k < best:
+			best, cnt = k, 1
+		case k == best:
+			cnt++
+		}
+	}
+	return best, cnt
+}
+
+// TestSeqMatchesScan drives random updates through a Seq tree and checks
+// after every single one that (min, tie count) and the argmin's key match
+// a naive scan.
+func TestSeqMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 3, 7, 8, 64, 100, 1000} {
+		tr := NewSeq(n)
+		keys := make([]float64, n)
+		for step := 0; step < 4000; step++ {
+			i := rng.IntN(n)
+			keys[i] = float64(rng.IntN(8)) // small range forces ties
+			tr.Update(i, keys[i])
+
+			best, cnt := keys[0], int32(1)
+			for _, k := range keys[1:] {
+				switch {
+				case k < best:
+					best, cnt = k, 1
+				case k == best:
+					cnt++
+				}
+			}
+			if tr.Min() != best {
+				t.Fatalf("n=%d step %d: Min = %v, scan %v", n, step, tr.Min(), best)
+			}
+			if tr.cnt[1] != cnt {
+				t.Fatalf("n=%d step %d: tie count = %d, scan %d", n, step, tr.cnt[1], cnt)
+			}
+			if am := tr.Argmin(rng); keys[am] != best {
+				t.Fatalf("n=%d step %d: Argmin %d holds %v, min is %v", n, step, am, keys[am], best)
+			}
+		}
+	}
+}
+
+// TestSeqArgminUniformAcrossTies: with a fixed tied state, Argmin must
+// choose every tied leaf equally often — the same unbiasedness contract
+// the scan pickers are tested for in internal/workload.
+func TestSeqArgminUniformAcrossTies(t *testing.T) {
+	const n, picks = 48, 60000
+	tr := NewSeq(n)
+	tied := []int{3, 17, 18, 40} // everyone else strictly longer
+	for i := 0; i < n; i++ {
+		tr.Update(i, 5)
+	}
+	for _, i := range tied {
+		tr.Update(i, 2)
+	}
+	rng := rand.New(rand.NewPCG(7, 9))
+	counts := make(map[int]int)
+	for k := 0; k < picks; k++ {
+		counts[tr.Argmin(rng)]++
+	}
+	want := picks / len(tied)
+	for _, i := range tied {
+		if c := counts[i]; c < want-want/10 || c > want+want/10 {
+			t.Errorf("tied leaf %d picked %d times, want %d ± 10%%", i, c, want)
+		}
+	}
+	if len(counts) != len(tied) {
+		t.Errorf("picked %d distinct leaves, want exactly the %d tied ones: %v", len(counts), len(tied), counts)
+	}
+}
+
+// TestConcMatchesScanSequential is the single-goroutine exactness check
+// for the concurrent tree: after every update, (min, count, argmin) agree
+// with a naive scan of the authoritative key table.
+func TestConcMatchesScanSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{1, 2, 5, 64, 100, 777} {
+		keys := make([]atomic.Uint32, n)
+		tr := NewConc(n, func(i int) uint32 { return keys[i].Load() })
+		snap := make([]uint32, n)
+		for step := 0; step < 3000; step++ {
+			i := rng.IntN(n)
+			keys[i].Store(uint32(rng.IntN(6)))
+			tr.Update(i)
+
+			for k := range snap {
+				snap[k] = keys[k].Load()
+			}
+			best, cnt := naiveMin(snap)
+			if tr.Min() != best {
+				t.Fatalf("n=%d step %d: Min = %d, scan %d", n, step, tr.Min(), best)
+			}
+			if _, c := unpack(tr.node[1].Load()); int(c) != cnt {
+				t.Fatalf("n=%d step %d: tie count = %d, scan %d", n, step, c, cnt)
+			}
+			if am := tr.Argmin(rng); snap[am] != best {
+				t.Fatalf("n=%d step %d: Argmin %d holds %d, min is %d", n, step, am, snap[am], best)
+			}
+		}
+	}
+}
+
+// TestConcConcurrentConvergence is the satellite property test: workers
+// hammer random leaf updates concurrently (enqueue/complete shaped: ±1
+// around a moving level), then at each quiescent point the tree's argmin
+// must match a naive scan of the atomic table exactly. Run under
+// `go test -race ./internal/minindex` (CI's race job covers it).
+func TestConcConcurrentConvergence(t *testing.T) {
+	const (
+		n       = 300
+		workers = 8
+		rounds  = 40
+		opsEach = 400
+	)
+	var keys [n]atomic.Uint32
+	tr := NewConc(n, func(i int) uint32 { return keys[i].Load() })
+	rng := rand.New(rand.NewPCG(11, 13))
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, uint64(round)))
+				for op := 0; op < opsEach; op++ {
+					i := r.IntN(n)
+					if r.IntN(2) == 0 {
+						keys[i].Add(1)
+					} else {
+						// Decrement, floored at 0 like a queue length.
+						for {
+							v := keys[i].Load()
+							if v == 0 || keys[i].CompareAndSwap(v, v-1) {
+								break
+							}
+						}
+					}
+					tr.Update(i)
+					if op%16 == 0 {
+						_ = tr.Argmin(r) // exercise descent under churn
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+
+		snap := make([]uint32, n)
+		for i := range snap {
+			snap[i] = keys[i].Load()
+		}
+		best, cnt := naiveMin(snap)
+		if tr.Min() != best {
+			t.Fatalf("round %d: quiescent Min = %d, scan %d", round, tr.Min(), best)
+		}
+		if _, c := unpack(tr.node[1].Load()); int(c) != cnt {
+			t.Fatalf("round %d: quiescent tie count = %d, scan %d", round, c, cnt)
+		}
+		for k := 0; k < 20; k++ {
+			if am := tr.Argmin(rng); snap[am] != best {
+				t.Fatalf("round %d: quiescent Argmin %d holds %d, min is %d", round, am, snap[am], best)
+			}
+		}
+	}
+}
+
+// TestConcPaddingNeverWins: keys saturated at the padding sentinel still
+// return a real leaf.
+func TestConcPaddingNeverWins(t *testing.T) {
+	var keys [5]atomic.Uint32
+	for i := range keys {
+		keys[i].Store(padKey) // clamped to padKey-1 inside Update
+	}
+	tr := NewConc(5, func(i int) uint32 { return keys[i].Load() })
+	rng := rand.New(rand.NewPCG(1, 1))
+	for k := 0; k < 100; k++ {
+		if am := tr.Argmin(rng); am < 0 || am >= 5 {
+			t.Fatalf("Argmin returned padding leaf %d", am)
+		}
+	}
+	if tr.Min() != padKey-1 {
+		t.Fatalf("Min = %d, want clamped %d", tr.Min(), padKey-1)
+	}
+}
+
+func BenchmarkConcUpdate(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			keys := make([]atomic.Uint32, n)
+			tr := NewConc(n, func(i int) uint32 { return keys[i].Load() })
+			rng := rand.New(rand.NewPCG(1, 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := rng.IntN(n)
+				keys[j].Store(uint32(i) & 7)
+				tr.Update(j)
+			}
+		})
+	}
+}
+
+func BenchmarkConcArgmin(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			keys := make([]atomic.Uint32, n)
+			tr := NewConc(n, func(i int) uint32 { return keys[i].Load() })
+			rng := rand.New(rand.NewPCG(1, 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tr.Argmin(rng)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string { return fmt.Sprintf("N=%d", n) }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+
+	"finitelb/internal/minindex"
+	"finitelb/internal/sqd"
+	"finitelb/internal/workload"
+)
+
+// The indexed-dispatch tests pin the contract of the minindex wiring: at
+// N ≥ minindex.Threshold the JSQ/LWL pickers route through the farm's
+// min-trees, which must (a) leave results seed-deterministic and (b) not
+// change the policy's law — JSQ-by-index must agree statistically with
+// JSQ-by-scan, which SQ(N) provides draw-for-draw at any N.
+
+// TestIndexedSeedDeterminism: replacing the scan picker with the indexed
+// one must keep same-seed runs bit-identical — the index consumes rng only
+// through the picker's own stream.
+func TestIndexedSeedDeterminism(t *testing.T) {
+	n := 2 * minindex.Threshold
+	p := sqd.Params{N: n, D: 2, Rho: 0.85}
+	pareto, err := workload.NewBoundedPareto(1.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]Options{
+		"jsq-indexed": {Jobs: 30_000, Seed: 11, Policy: workload.JSQ{}},
+		"lwl-indexed": {Jobs: 30_000, Seed: 11, Service: pareto, Policy: workload.LWL{}},
+	} {
+		a, err := Run(p, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Run(p, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a != b {
+			t.Errorf("%s: same seed, different Results:\n%+v\n%+v", name, a, b)
+		}
+	}
+}
+
+// TestIndexedJSQAgreesWithScan: SQ(N) scans a full Fisher–Yates sample and
+// is JSQ in law, but it never takes the indexed path (only workload.JSQ
+// does). At N above the threshold the two must land on statistically
+// indistinguishable mean delays — the index changes the cost of the
+// argmin, not its distribution.
+func TestIndexedJSQAgreesWithScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical agreement needs a long run")
+	}
+	n := 100
+	if n < minindex.Threshold {
+		t.Fatalf("test needs N ≥ threshold %d", minindex.Threshold)
+	}
+	p := sqd.Params{N: n, D: 2, Rho: 0.9}
+	indexed, err := Run(p, Options{Jobs: 400_000, Seed: 3, Policy: workload.JSQ{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := Run(p, Options{Jobs: 400_000, Seed: 17, Policy: workload.SQD{D: n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 3 * (indexed.HalfWidth + scan.HalfWidth)
+	if diff := indexed.MeanDelay - scan.MeanDelay; diff > tol || -diff > tol {
+		t.Errorf("indexed JSQ %v ± %v vs SQ(N) scan %v ± %v: gap beyond tolerance %v",
+			indexed.MeanDelay, indexed.HalfWidth, scan.MeanDelay, scan.HalfWidth, tol)
+	}
+}
+
+// TestIndexedLWLOrdering: the indexed LWL must keep its defining property
+// at large N — under heavy-tailed service it sees through the queue-length
+// proxy and beats indexed JSQ.
+func TestIndexedLWLOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical ordering needs a long run")
+	}
+	pareto, err := workload.NewBoundedPareto(1.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sqd.Params{N: 100, D: 2, Rho: 0.85}
+	lwl, err := Run(p, Options{Jobs: 400_000, Seed: 23, Service: pareto, Policy: workload.LWL{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsq, err := Run(p, Options{Jobs: 400_000, Seed: 23, Service: pareto, Policy: workload.JSQ{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lwl.MeanDelay < jsq.MeanDelay) {
+		t.Errorf("indexed LWL %v not below indexed JSQ %v under heavy-tailed service",
+			lwl.MeanDelay, jsq.MeanDelay)
+	}
+}

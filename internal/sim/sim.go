@@ -20,6 +20,7 @@ import (
 	"math/rand/v2"
 
 	"finitelb/internal/engine"
+	"finitelb/internal/minindex"
 	"finitelb/internal/sqd"
 	"finitelb/internal/stats"
 	"finitelb/internal/workload"
@@ -336,10 +337,52 @@ type farm struct {
 	servers []server
 	speeds  []float64
 	now     float64
+
+	// Hierarchical min-indexes (nil below minindex.Threshold, or when the
+	// policy doesn't dispatch on a global argmin): lenTree tracks queue
+	// lengths for JSQ, workTree tracks backlog for LWL. The event loop
+	// calls note(i) after every state change of server i, so a pick is
+	// O(log N) instead of the O(N) scan that dominates large-N sweeps.
+	lenTree  *minindex.Seq
+	workTree *minindex.Seq
 }
 
 func (f *farm) N() int        { return len(f.servers) }
 func (f *farm) Len(i int) int { return f.servers[i].length() }
+
+// note re-keys server i in whichever index is active. The workTree key is
+// pending/speed + completion — the absolute-time form of Work(i): among
+// busy servers "− now" is a common shift that argmin ignores, and an idle
+// server keys at 0, below every busy server's completion ≥ now ≥ 0.
+func (f *farm) note(i int) {
+	s := &f.servers[i]
+	if f.lenTree != nil {
+		f.lenTree.Update(i, float64(s.length()))
+	}
+	if f.workTree != nil {
+		if s.length() == 0 {
+			f.workTree.Update(i, 0)
+		} else {
+			f.workTree.Update(i, s.pending/f.speeds[i]+s.completion)
+		}
+	}
+}
+
+// ArgminLen implements workload.ArgminQueues when the length index is on.
+func (f *farm) ArgminLen(rng *rand.Rand) (int, bool) {
+	if f.lenTree == nil {
+		return 0, false
+	}
+	return f.lenTree.Argmin(rng), true
+}
+
+// ArgminWork implements workload.ArgminWorkQueues when the work index is on.
+func (f *farm) ArgminWork(rng *rand.Rand) (int, bool) {
+	if f.workTree == nil {
+		return 0, false
+	}
+	return f.workTree.Argmin(rng), true
+}
 
 func (f *farm) Work(i int) float64 {
 	s := &f.servers[i]
@@ -466,6 +509,19 @@ func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng
 	// Box the farm view once; passing the struct would re-box (and heap
 	// allocate) on every Pick.
 	wf := &farm{servers: servers, speeds: w.speeds}
+	if p.N >= minindex.Threshold {
+		// Sub-linear dispatch: global-argmin policies get a maintained
+		// min-index; below the threshold (and for O(d) policies) the
+		// reference scan wins. Selection changes the rng draw sequence,
+		// not the policy's law — results stay seed-deterministic.
+		switch w.policy.(type) {
+		case workload.JSQ:
+			wf.lenTree = minindex.NewSeq(p.N)
+		case workload.LWL:
+			wf.workTree = minindex.NewSeq(p.N)
+		}
+	}
+	indexed := wf.lenTree != nil || wf.workTree != nil
 	var queues workload.Queues = wf
 	svc, speeds := w.service, w.speeds
 	if w.workAware {
@@ -505,6 +561,9 @@ func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng
 					trk.update(best, sv.completion)
 				}
 			}
+			if indexed {
+				wf.note(best)
+			}
 			res.ObserveQueue(servers[best].length())
 			continue
 		}
@@ -524,6 +583,9 @@ func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng
 			sv.completion = math.Inf(1)
 		}
 		trk.update(minI, sv.completion)
+		if indexed {
+			wf.note(minI)
+		}
 		departed++
 		if departed > warmup {
 			res.Add(now - arrivedAt)

@@ -73,9 +73,26 @@ func (JSQ) String() string { return "jsq" }
 type jsqPicker struct{}
 
 func (jsqPicker) Pick(rng *rand.Rand, q Queues) int {
+	if aq, ok := q.(ArgminQueues); ok {
+		if i, ok := aq.ArgminLen(rng); ok {
+			return i // O(log N) via the host's min-index
+		}
+	}
+	// Reference O(N) scan. The start is rotated off rng: reservoir
+	// sampling already breaks ties uniformly on a frozen view, but a
+	// directional 0→N−1 pass over *live* queues reads low indices with
+	// systematically staler state than high ones (a server that drains
+	// mid-scan is seen long only if it sits early), deterministically
+	// biasing low-numbered servers. Randomizing the origin removes the
+	// positional bias; the reservoir keeps tie-breaking exactly uniform.
 	n := q.N()
-	best, bestLen, ties := 0, q.Len(0), 1
-	for i := 1; i < n; i++ {
+	start := rng.IntN(n)
+	best, bestLen, ties := start, q.Len(start), 1
+	for k := 1; k < n; k++ {
+		i := start + k
+		if i >= n {
+			i -= n
+		}
 		switch l := q.Len(i); {
 		case l < bestLen:
 			best, bestLen, ties = i, l, 1
@@ -152,13 +169,25 @@ func (LWL) NeedsWork() {}
 type lwlPicker struct{}
 
 func (lwlPicker) Pick(rng *rand.Rand, q Queues) int {
+	if aw, ok := q.(ArgminWorkQueues); ok {
+		if i, ok := aw.ArgminWork(rng); ok {
+			return i // O(log N) via the host's min-index
+		}
+	}
 	wq, ok := q.(WorkQueues)
 	if !ok {
 		panic("workload: LWL picker needs a WorkQueues view (host did not enable work tracking)")
 	}
+	// Reference O(N) scan with a rotated origin; see jsqPicker.Pick for
+	// why the rotation matters on live, concurrently-updated views.
 	n := wq.N()
-	best, bestWork, ties := 0, wq.Work(0), 1
-	for i := 1; i < n; i++ {
+	start := rng.IntN(n)
+	best, bestWork, ties := start, wq.Work(start), 1
+	for k := 1; k < n; k++ {
+		i := start + k
+		if i >= n {
+			i -= n
+		}
 		switch w := wq.Work(i); {
 		case w < bestWork:
 			best, bestWork, ties = i, w, 1

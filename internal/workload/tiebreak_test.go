@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Tie-breaking distribution tests: on a frozen view with several servers
+// tied at the minimum, the argmin choice of every load-aware picker must
+// be uniform across the tied set — no deterministic preference for
+// low-numbered servers. The tolerance is ±6σ of the binomial count, so a
+// false failure is astronomically unlikely while any positional bias
+// (which would concentrate picks on one tied index) trips instantly.
+
+func assertUniformPicks(t *testing.T, name string, picks func(rng *rand.Rand) int, tied []int, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(42, 99))
+	counts := make(map[int]int)
+	for k := 0; k < trials; k++ {
+		counts[picks(rng)]++
+	}
+	p := 1 / float64(len(tied))
+	want := float64(trials) * p
+	sigma := math.Sqrt(float64(trials) * p * (1 - p))
+	for _, i := range tied {
+		c := float64(counts[i])
+		if math.Abs(c-want) > 6*sigma {
+			t.Errorf("%s: tied server %d picked %d times, want %.0f ± %.0f (6σ)", name, i, counts[i], want, 6*sigma)
+		}
+	}
+	for i, c := range counts {
+		isTied := false
+		for _, j := range tied {
+			if i == j {
+				isTied = true
+			}
+		}
+		if !isTied {
+			t.Errorf("%s: non-minimal server %d picked %d times", name, i, c)
+		}
+	}
+}
+
+func TestJSQTieBreakUnbiased(t *testing.T) {
+	// Tied zeros scattered asymmetrically, including the ends.
+	lens := []int{0, 3, 1, 0, 2, 2, 0, 5, 1, 0}
+	q := fuzzQueues{lens: lens}
+	pk, err := JSQ{}.NewPicker(len(lens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertUniformPicks(t, "jsq", func(rng *rand.Rand) int { return pk.Pick(rng, q) },
+		[]int{0, 3, 6, 9}, 40000)
+}
+
+func TestLWLTieBreakUnbiased(t *testing.T) {
+	wq := workView{
+		lens:  []int{1, 1, 2, 1, 1, 1},
+		works: []float64{0.5, 2, 0.5, 3, 0.5, 4},
+	}
+	pk, err := LWL{}.NewPicker(wq.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertUniformPicks(t, "lwl", func(rng *rand.Rand) int { return pk.Pick(rng, wq) },
+		[]int{0, 2, 4}, 40000)
+}
+
+func TestSQDFullSampleTieBreakUnbiased(t *testing.T) {
+	// SQ(N) is JSQ in law; its Fisher–Yates scan must share the uniform
+	// tie-breaking contract.
+	lens := []int{1, 0, 1, 0, 1, 0, 1, 0}
+	q := fuzzQueues{lens: lens}
+	pk, err := SQD{D: len(lens)}.NewPicker(len(lens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertUniformPicks(t, "sqd-full", func(rng *rand.Rand) int { return pk.Pick(rng, q) },
+		[]int{1, 3, 5, 7}, 40000)
+}
+
+// indexedView fakes a host-maintained min-index so the test can pin the
+// picker's indexed fast path: ArgminLen/ArgminWork answer directly, and
+// any fallback scan would be visible as a non-uniform or non-minimal pick.
+type indexedView struct {
+	workView
+	tied []int
+}
+
+func (v indexedView) ArgminLen(rng *rand.Rand) (int, bool) {
+	return v.tied[rng.IntN(len(v.tied))], true
+}
+
+func (v indexedView) ArgminWork(rng *rand.Rand) (int, bool) {
+	return v.tied[rng.IntN(len(v.tied))], true
+}
+
+func TestPickersUseHostIndex(t *testing.T) {
+	v := indexedView{
+		workView: workView{lens: []int{9, 9, 9}, works: []float64{9, 9, 9}},
+		tied:     []int{1}, // the index, not the (deliberately useless) view, must answer
+	}
+	jsq, _ := JSQ{}.NewPicker(3)
+	lwl, _ := LWL{}.NewPicker(3)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for k := 0; k < 20; k++ {
+		if got := jsq.Pick(rng, v); got != 1 {
+			t.Fatalf("JSQ ignored the host index: picked %d", got)
+		}
+		if got := lwl.Pick(rng, v); got != 1 {
+			t.Fatalf("LWL ignored the host index: picked %d", got)
+		}
+	}
+}

@@ -81,6 +81,35 @@ type WorkQueues interface {
 	Work(i int) float64
 }
 
+// ArgminQueues extends Queues with sub-linear argmin access: hosts that
+// maintain a hierarchical min-index over queue lengths (internal/minindex)
+// implement it, and the JSQ picker consults it before falling back to the
+// O(N) reference scan. ok = false means no index is currently maintained —
+// hosts serve small farms with the scan, where a tight pass over a few
+// cache lines beats a multi-level tree walk. The returned index must be
+// uniformly distributed across tied shortest queues, the same tie-breaking
+// law as the scan.
+type ArgminQueues interface {
+	Queues
+	// ArgminLen returns a uniformly chosen index among the shortest
+	// queues, or ok = false when the host maintains no length index.
+	ArgminLen(rng *rand.Rand) (i int, ok bool)
+}
+
+// ArgminWorkQueues is the work-aware counterpart of ArgminQueues: an
+// indexed view over per-server backlog for LWL. Hosts may key the index on
+// a monotone proxy of Work (the live runtime indexes outstanding nominal
+// work, quantized; see internal/lb) — the picker treats the answer as the
+// argmin authority, so proxy and Work should order servers identically up
+// to quantization.
+type ArgminWorkQueues interface {
+	WorkQueues
+	// ArgminWork returns a uniformly chosen index among the least-loaded
+	// servers by backlog, or ok = false when the host maintains no work
+	// index.
+	ArgminWork(rng *rand.Rand) (i int, ok bool)
+}
+
 // WorkAware marks policies whose pickers require a WorkQueues view. Hosts
 // (the simulator event loop, the live runtime) check for it when wiring a
 // policy and switch on per-job work tracking — each job's service

@@ -4,6 +4,11 @@
 # ns/dispatch, derived jobs/sec, and allocation counts. This file seeds the
 # performance trajectory — rerun after touching the dispatch path and diff.
 #
+# Axes: BenchmarkPick and BenchmarkDispatch cover every policy at
+# N ∈ {10, 100, 1000, 10000} (N ≥ 64 exercises the minindex-backed JSQ/LWL
+# path); BenchmarkDispatchContended covers the multi-producer fan-in at
+# D ∈ {1, 2, 4, 8} dispatchers on one shared farm.
+#
 # Usage:  scripts/bench_lb.sh            # default 0.5s per benchmark
 #         BENCHTIME=2s scripts/bench_lb.sh
 set -euo pipefail
@@ -11,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench 'BenchmarkDispatch|BenchmarkPick' -benchmem \
+go test -run '^$' -bench 'BenchmarkDispatch|BenchmarkDispatchContended|BenchmarkPick' -benchmem \
     -benchtime "${BENCHTIME:-0.5s}" ./internal/lb | tee "$raw"
 
 awk '

@@ -11,9 +11,15 @@ go build -o "$bin" ./cmd/lbd
 echo "== loadgen mode =="
 "$bin" -loadgen 200 -n 4 -d 2 -rho 0.6 -mean-service 1ms -warmup 20
 
+echo "== loadgen mode: indexed JSQ, multi-dispatcher fan-in =="
+out=$("$bin" -loadgen 2000 -n 64 -policy jsq -rho 0.5 -mean-service 1ms \
+       -dispatchers 4 -batch 32)
+grep -q '4 dispatcher(s)' <<<"$out"
+
 echo "== serve mode =="
 addr=127.0.0.1:8097
-"$bin" -addr "$addr" -n 4 -mean-service 1ms &
+pprof=127.0.0.1:8098
+"$bin" -addr "$addr" -n 4 -mean-service 1ms -pprof "$pprof" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT
 
@@ -22,6 +28,7 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 curl -fsS "http://$addr/healthz" | grep -q ok
+curl -fsS "http://$pprof/debug/pprof/goroutine?debug=1" | head -1 | grep -q 'goroutine profile'
 
 for _ in $(seq 1 100); do
     curl -fsS -X POST "http://$addr/work?work=0.5" >/dev/null
