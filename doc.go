@@ -192,5 +192,48 @@
 // fan-in (on a single-core host ns/op holding flat as D grows is the
 // no-collapse ceiling; scaling with D needs cores), and the N=10000 rows
 // in BENCH_lb.json record the sub-µs indexed picks two decades past where
-// the scan gave out.
+// the scan gave out. When a drained burst lands several jobs on the same
+// server, the generator coalesces them into a single channel send per
+// server per wake-up (pure transport — D=1 runs stay draw-identical to
+// the unbatched stream, pinned by test).
+//
+// # Simulator performance
+//
+// The discrete-event simulator is the cost floor under every sweep the
+// analytic side cannot reach, so its event core is engineered and
+// benchmarked like the live dispatch path. Three loops exist, all
+// producing identical draws for identical wirings (pinned by equivalence
+// tests and the pre-workload bit-identity goldens): a hand-specialized
+// loop for the paper's default wiring (Poisson × exponential × SQ(d),
+// any speeds), a generics-stenciled typed loop covering every built-in
+// arrival law × service law × policy with concrete samplers and
+// pickers, and the interface loop that still serves exotic user-supplied
+// workload implementations. Draws come from internal/frand, a concrete
+// PCG re-derivation of math/rand/v2's exact streams (bit-identity pinned
+// in that package), so the hot loops pay no rand.Source dispatch.
+//
+// The completion tracker — "which server finishes next" — was rebuilt
+// from a container/heap binary heap (three interface calls per sift
+// level, ~half of all event time at N ≥ 250) into measured concrete
+// contenders: a flat scan (wins at N ≤ 8), a 4-ary indexed min-heap and
+// a 4-ary (key, id) tournament tree (both branch-free over the integer
+// bit patterns of the completion times), and a calendar queue that
+// exploits the event loop's monotone re-key pattern for amortized O(1)
+// updates (wins at N ≥ 512 under light-tailed service; the tournament
+// tree takes the mid range and heavy-tailed laws, whose deep keys defeat
+// the calendar's window sweep). BenchmarkTracker records the crossover;
+// internal/sim/tracker.go documents why each loser lost.
+//
+// scripts/bench_sim.sh runs BenchmarkSimJobs — {fast, pluggable-default,
+// jsq-indexed, lwl-work-aware} × N ∈ {10, 250, 1000, 10000} at ρ = 0.9 —
+// and writes BENCH_sim.json at the repository root: one record per
+// configuration with ns/job, events/sec (one measured job = one arrival
+// plus one departure event, so events/sec = 2e9/ns_per_op), and
+// allocation counts, with the pre-overhaul baseline embedded under
+// "baseline" so the trajectory travels with the file. The steady-state
+// event paths are allocation-free (guarded by TestAllocFreeEventPath in
+// CI); after the overhaul the loop is bound by the irreducible parts —
+// the bit-pinned rng draws, the statistics accumulators, and one
+// genuinely unpredictable arrival-vs-departure branch per event — with
+// the tracker down to ~15% of event time.
 package finitelb

@@ -1,0 +1,136 @@
+// Package frand is a concrete, devirtualized re-implementation of the
+// exact pseudo-random streams the simulator has always drawn: a PCG-DXSM
+// generator plus the math/rand/v2 derivations of Float64, ExpFloat64
+// (Marsaglia–Tsang ziggurat) and IntN (Lemire reduction). Every method is
+// bit-identical to calling the corresponding *rand.Rand method over a
+// rand.PCG seeded the same way — pinned by the equivalence tests in this
+// package — but the calls are direct (and the cheap ones inlinable)
+// instead of dispatching each Uint64 through the rand.Source interface.
+// That matters because the discrete-event hot loop in internal/sim draws
+// 4–6 variates per job; routed through *rand.Rand they cost an interface
+// hop each, which profiles at ~15% of event time.
+//
+// An *RNG also implements rand.Source, so cold paths can wrap the same
+// generator in rand.New and interleave *rand.Rand draws with direct ones
+// on a single stream without breaking seed determinism — the simulator
+// uses this for the minindex tie-break descents and for exotic workload
+// plugins that only speak *rand.Rand.
+//
+// The derivation algorithms and ziggurat tables follow Go's
+// math/rand/v2 (BSD license); they are reproduced rather than imported
+// because the standard library does not export them in a form that can be
+// devirtualized, and because bit-identity with the existing goldens
+// requires these exact algorithms, not merely distributionally equivalent
+// ones.
+package frand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a PCG-DXSM generator with 128 bits of state, identical in
+// sequence to math/rand/v2's rand.PCG. Not safe for concurrent use.
+type RNG struct {
+	hi, lo uint64
+}
+
+// New returns an RNG seeded exactly as rand.NewPCG(seed1, seed2).
+func New(seed1, seed2 uint64) *RNG { return &RNG{hi: seed1, lo: seed2} }
+
+// next advances the 128-bit LCG state (constants from the official PCG
+// implementation, as used by math/rand/v2).
+func (r *RNG) next() (hi, lo uint64) {
+	const (
+		mulHi = 2549297995355413924
+		mulLo = 4865540595714422341
+		incHi = 6364136223846793005
+		incLo = 1442695040888963407
+	)
+	hi, lo = bits.Mul64(r.lo, mulLo)
+	hi += r.hi*mulLo + r.lo*mulHi
+	lo, c := bits.Add64(lo, incLo, 0)
+	hi, _ = bits.Add64(hi, incHi, c)
+	r.lo = lo
+	r.hi = hi
+	return hi, lo
+}
+
+// Uint64 returns the next output of the generator (DXSM output function).
+// It also satisfies rand.Source, so rand.New(r) shares this stream.
+func (r *RNG) Uint64() uint64 {
+	hi, lo := r.next()
+	const cheapMul = 0xda942042e4dd58b5
+	hi ^= hi >> 32
+	hi *= cheapMul
+	hi ^= hi >> 48
+	hi *= (lo | 1)
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1), bit-identical to
+// (*rand.Rand).Float64.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()<<11>>11) / (1 << 53)
+}
+
+// IntN returns a uniform int in [0, n), bit-identical to
+// (*rand.Rand).IntN (Lemire's multiply-shift reduction with rejection).
+// It panics if n <= 0.
+func (r *RNG) IntN(n int) int {
+	if n <= 0 {
+		panic("frand: invalid argument to IntN")
+	}
+	return int(r.uint64n(uint64(n)))
+}
+
+func (r *RNG) uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 { // power of two: mask
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// ExpFloat64 returns an Exp(1) variate via the Marsaglia–Tsang ziggurat,
+// bit-identical to (*rand.Rand).ExpFloat64. The fast path reads its two
+// table entries from one interleaved array (kw) rather than two parallel
+// ones, so the common case touches a single cache line; the rejection
+// tables fe are only read on the slow path.
+func (r *RNG) ExpFloat64() float64 {
+	const re = 7.69711747013104972
+	for {
+		u := r.Uint64()
+		j := uint32(u)
+		i := uint8(u >> 32)
+		e := kw[i]
+		x := float64(j) * float64(e.we)
+		if j < e.ke {
+			return x
+		}
+		if i == 0 {
+			return re - math.Log(r.Float64())
+		}
+		if fe[i]+float32(r.Float64())*(fe[i-1]-fe[i]) < float32(math.Exp(-x)) {
+			return x
+		}
+	}
+}
+
+// kw interleaves the ziggurat ke/we tables (same values, one line per
+// lookup).
+var kw = func() (t [256]struct {
+	ke uint32
+	we float32
+}) {
+	for i := range t {
+		t[i].ke, t[i].we = ke[i], we[i]
+	}
+	return
+}()

@@ -314,7 +314,7 @@ func New(cfg Config) (*LB, error) {
 		lb.servers[i] = &server{
 			id:    i,
 			speed: speeds[i],
-			ch:    make(chan job, cfg.QueueCap),
+			ch:    make(chan envelope, cfg.QueueCap),
 		}
 		go lb.servers[i].run(lb)
 	}
@@ -392,6 +392,28 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 	}
 
 	d := lb.dispatchers.Get().(*dispatcher)
+	if lb.workAware {
+		d.view.nowNs = arrival.UnixNano()
+	}
+	j, target, ok := lb.admit(d, arrival, work, done, counted)
+	lb.dispatchers.Put(d)
+	if !ok {
+		return target, ErrQueueFull
+	}
+	// Cannot block: qlen ≤ QueueCap bounds channel occupancy by the
+	// channel's own capacity (an envelope never carries more jobs than
+	// queue reservations).
+	lb.servers[target].ch <- envelope{j: j}
+	return target, nil
+}
+
+// admit is the per-job admission stage shared by submitAt and
+// submitBurst: pick a target with the caller's dispatcher (the caller
+// sets d.view.nowNs under a work-aware policy), reserve a queue slot,
+// and update every ledger and index. ok = false means the picked
+// server's queue was full; the rejection is counted and nothing needs
+// unwinding. The caller owns the channel send.
+func (lb *LB) admit(d *dispatcher, arrival time.Time, work float64, done chan<- Done, counted *atomic.Int64) (job, int, bool) {
 	var target int
 	if lb.jiq {
 		// JIQ fast path: pop an idle hint in O(1); fall back to a uniform
@@ -403,13 +425,8 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 			target = d.rng.IntN(lb.n)
 		}
 	} else {
-		if lb.workAware {
-			d.view.nowNs = arrival.UnixNano()
-		}
 		target = d.picker.Pick(d.rng, &d.view)
 	}
-	lb.dispatchers.Put(d)
-
 	s := &lb.slots[target]
 	newLen := s.qlen.Add(1)
 	if newLen > lb.queueCap {
@@ -417,7 +434,7 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 		// so there is nothing to repair.
 		s.qlen.Add(-1)
 		lb.rejected.Add(1)
-		return target, ErrQueueFull
+		return job{}, target, false
 	}
 	if lb.lenTree != nil {
 		lb.lenTree.Update(target)
@@ -433,10 +450,94 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 		}
 	}
 	lb.accepted.Add(1)
-	// Cannot block: qlen ≤ QueueCap bounds channel occupancy by the
-	// channel's own capacity.
-	lb.servers[target].ch <- j
-	return target, nil
+	return j, target, true
+}
+
+// burstScratch is the reusable staging area of one generator goroutine's
+// submitBurst calls; it keeps the burst path allocation-free apart from
+// the pooled per-send buffers.
+type burstScratch struct {
+	jobs    []job
+	targets []int32
+}
+
+// submitBurst routes a burst of jobs sharing one arrival stamp — the
+// load generator's overdue arrivals drained on a single wake-up — and
+// coalesces all jobs routed to the same server into one channel send
+// (ROADMAP PR-4 follow-up: one send per server per wake-up). Target
+// picks consume the dispatcher rng exactly as the same sequence of
+// submitAt calls would, so D = 1 runs stay draw-identical to the
+// unbatched generator; per-job admission is unchanged (full queues
+// reject individual jobs, counted by the farm). It returns the number of
+// jobs accepted.
+func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.Int64, sc *burstScratch) (int, error) {
+	if len(works) == 0 {
+		return 0, nil
+	}
+	if lb.closed.Load() {
+		return 0, ErrClosed
+	}
+	lb.inflight.Add(1)
+	defer lb.inflight.Done()
+	if lb.closed.Load() {
+		return 0, ErrClosed
+	}
+
+	// Validate the whole burst before reserving anything: an invalid work
+	// mid-burst must not abandon queue reservations and ledger entries
+	// already staged for earlier jobs.
+	for _, work := range works {
+		if !(work > 0) || work > 1e9 {
+			return 0, fmt.Errorf("lb: job work %v outside (0, 1e9]", work)
+		}
+	}
+
+	d := lb.dispatchers.Get().(*dispatcher)
+	if lb.workAware {
+		d.view.nowNs = arrival.UnixNano()
+	}
+	sc.jobs = sc.jobs[:0]
+	sc.targets = sc.targets[:0]
+	for _, work := range works {
+		if j, target, ok := lb.admit(d, arrival, work, nil, counted); ok {
+			sc.jobs = append(sc.jobs, j)
+			sc.targets = append(sc.targets, int32(target))
+		}
+	}
+	lb.dispatchers.Put(d)
+	accepted := len(sc.jobs)
+
+	// Send phase: one envelope per distinct target. Same-target jobs are
+	// rare outside genuine bursts (the O(K²) group scan is over ≤ Batch
+	// int32s), and each group preserves arrival order. Sends cannot
+	// block: every staged job holds a queue reservation, and an envelope
+	// occupies at most as many channel slots as reservations it carries.
+	for i := range sc.jobs {
+		t := sc.targets[i]
+		if t < 0 {
+			continue // already sent in an earlier group
+		}
+		group := 1
+		for j := i + 1; j < len(sc.targets); j++ {
+			if sc.targets[j] == t {
+				group++
+			}
+		}
+		if group == 1 {
+			lb.servers[t].ch <- envelope{j: sc.jobs[i]}
+			continue
+		}
+		buf := batchPool.Get().(*[]job)
+		*buf = append(*buf, sc.jobs[i])
+		for j := i + 1; j < len(sc.targets); j++ {
+			if sc.targets[j] == t {
+				*buf = append(*buf, sc.jobs[j])
+				sc.targets[j] = -1
+			}
+		}
+		lb.servers[t].ch <- envelope{batch: buf}
+	}
+	return accepted, nil
 }
 
 // DrainStats reports the fate of every job accepted before Shutdown.

@@ -147,8 +147,13 @@ func (lb *LB) RunLoadGen(ctx context.Context, g GenConfig) (Summary, error) {
 
 // generate is one dispatcher goroutine: an absolute-timeline open loop
 // that, on each wake-up, drains every arrival already due (up to the
-// batch bound) before sleeping toward the next one.
+// batch bound) and submits them as one burst — the arrival and service
+// draws interleave exactly as the historical one-submit-per-arrival
+// loop's did, and submitBurst coalesces same-target jobs into one
+// channel send per server per wake-up.
 func (lb *LB) generate(ctx context.Context, svc workload.Service, src workload.Source, rng *rand.Rand, jobs int64, batch int, finished, accepted *atomic.Int64) error {
+	works := make([]float64, 0, batch)
+	sc := &burstScratch{jobs: make([]job, 0, batch), targets: make([]int32, 0, batch)}
 	next := time.Now().Add(time.Duration(src.Next(rng) * lb.meanServiceNs))
 	for k := int64(0); k < jobs; {
 		lb.sleep.sleepUntil(next)
@@ -156,21 +161,20 @@ func (lb *LB) generate(ctx context.Context, svc workload.Service, src workload.S
 			return nil
 		}
 		now := time.Now()
+		works = works[:0]
 		for b := 0; b < batch; b++ {
-			switch _, err := lb.submitAt(now, svc.Sample(rng), nil, finished); err {
-			case nil:
-				accepted.Add(1)
-			case ErrQueueFull:
-				// Counted by the farm; open-loop generators don't retry.
-			default:
-				return err
-			}
+			works = append(works, svc.Sample(rng))
 			k++
 			next = next.Add(time.Duration(src.Next(rng) * lb.meanServiceNs))
 			if k == jobs || next.After(now) {
 				break
 			}
 		}
+		acc, err := lb.submitBurst(now, works, finished, sc)
+		if err != nil {
+			return err
+		}
+		accepted.Add(int64(acc))
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package lb
 
 import (
 	"context"
+	"math/rand/v2"
 	"testing"
 	"time"
 
@@ -83,5 +84,105 @@ func TestLoadGenBurstBatching(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 20*time.Second {
 		t.Errorf("burst run took %v; batching is not engaging", elapsed)
+	}
+}
+
+// recordingService wraps a law and logs every draw, in order. The
+// generator draws single-goroutine at D = 1, so the log is a
+// deterministic transcript of the service stream.
+type recordingService struct {
+	inner workload.Service
+	log   *[]float64
+}
+
+func (r recordingService) Sample(rng *rand.Rand) float64 {
+	v := r.inner.Sample(rng)
+	*r.log = append(*r.log, v)
+	return v
+}
+func (r recordingService) Moment2() float64 { return r.inner.Moment2() }
+func (r recordingService) Validate() error  { return r.inner.Validate() }
+func (r recordingService) String() string   { return r.inner.String() }
+
+// TestBurstCoalescingDrawIdentity pins the per-server channel batching
+// satellite: coalescing same-target jobs into one send per server per
+// wake-up is pure transport — a D = 1 run with aggressive batching must
+// consume exactly the same generator draw sequence as the unbatched
+// (Batch = 1) run, and every offered job must still be accounted for.
+// LWL keeps the work-aware burst bookkeeping (pending/outwork ledgers)
+// under test; the drained farm's work index must return to all-idle.
+func TestBurstCoalescingDrawIdentity(t *testing.T) {
+	run := func(batch int) ([]float64, Summary) {
+		farm, err := New(Config{
+			N:           minindex.Threshold, // indexed LWL: work ledger + tree in the burst path
+			Policy:      workload.LWL{},
+			MeanService: time.Microsecond, // far beyond one sleep/wake per job: bursts guaranteed
+			QueueCap:    1 << 12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := farm.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+		}()
+		var draws []float64
+		s, err := farm.RunLoadGen(context.Background(), GenConfig{
+			Service: recordingService{inner: workload.Exponential{}, log: &draws},
+			Rho:     0.8, Jobs: 8000, Seed: 17, Batch: batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := farm.workTree.Min(); got != 0 {
+			t.Errorf("batch=%d: drained farm's work index min = %d, want 0", batch, got)
+		}
+		return draws, s
+	}
+	unbatchedDraws, unbatched := run(1)
+	batchedDraws, batched := run(256)
+
+	if unbatched.Completed+unbatched.Rejected != 8000 || batched.Completed+batched.Rejected != 8000 {
+		t.Errorf("job conservation broken: unbatched %d+%d, batched %d+%d of 8000",
+			unbatched.Completed, unbatched.Rejected, batched.Completed, batched.Rejected)
+	}
+	if len(unbatchedDraws) != len(batchedDraws) {
+		t.Fatalf("draw counts differ: unbatched %d, batched %d", len(unbatchedDraws), len(batchedDraws))
+	}
+	for i := range unbatchedDraws {
+		if unbatchedDraws[i] != batchedDraws[i] {
+			t.Fatalf("draw %d differs: unbatched %v, batched %v", i, unbatchedDraws[i], batchedDraws[i])
+		}
+	}
+}
+
+// TestSubmitBurstInvalidWorkLeaksNothing: an out-of-range requirement
+// anywhere in a burst must fail the whole burst before any queue
+// reservation or ledger entry is staged — a mid-burst abort would leak
+// phantom queue occupancy forever.
+func TestSubmitBurstInvalidWorkLeaksNothing(t *testing.T) {
+	farm, err := New(Config{N: 4, Policy: workload.LWL{}, MeanService: 10 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Shutdown(context.Background())
+
+	sc := &burstScratch{}
+	if _, err := farm.submitBurst(time.Now(), []float64{1, 2, -1}, nil, sc); err == nil {
+		t.Fatal("invalid work accepted")
+	}
+	for i := 0; i < farm.n; i++ {
+		if l := farm.slots[i].qlen.Load(); l != 0 {
+			t.Errorf("server %d: leaked queue reservation (qlen %d)", i, l)
+		}
+		if p := farm.slots[i].pending.Load(); p != 0 {
+			t.Errorf("server %d: leaked pending work %d", i, p)
+		}
+	}
+	if got := farm.accepted.Load(); got != 0 {
+		t.Errorf("accepted %d jobs from an invalid burst", got)
 	}
 }

@@ -14,9 +14,17 @@ import (
 // comparable to sim.Result and to the QBD bounds), through the same
 // stats.Stream arithmetic (Welford moments, batch-means confidence
 // intervals, fixed-width quantile histogram). Completions land in
-// per-server shards — each server goroutine only ever touches its own,
-// so the mutexes are uncontended except against Snapshot — and Snapshot
-// pools the shards exactly as the simulator pools replications.
+// sharded accumulators and Snapshot pools the shards exactly as the
+// simulator pools replications.
+//
+// Shards are capped at recShards rather than one per server: a shard
+// carries a full quantile histogram (25k bins ≈ 200 KB), so per-server
+// shards put ~2 GB of live accumulator state on a 10⁴-server farm — and
+// the GC cycles that heap provoked purged the dispatcher sync.Pool
+// mid-flight, which is exactly the stray ~1 B/op the N=10⁴ dispatch
+// benchmarks used to show. A few dozen shards hold mutex contention to
+// noise (each server goroutine touches one shard briefly per completion)
+// at a tiny fraction of the memory.
 type Recorder struct {
 	meanServiceNs float64
 	batchSize     int64
@@ -26,7 +34,12 @@ type Recorder struct {
 	maxQueue   atomic.Int64 // largest queue length reserved by a dispatch
 
 	shards []recShard
+	mask   int
 }
+
+// recShards caps the shard count (power of two, comfortably above any
+// realistic core count; servers hash in by id).
+const recShards = 64
 
 type recShard struct {
 	mu      sync.Mutex
@@ -43,10 +56,15 @@ const (
 )
 
 func newRecorder(n int, meanService time.Duration, warmup, batchSize int64) *Recorder {
+	s := 1
+	for s < n && s < recShards {
+		s <<= 1
+	}
 	r := &Recorder{
 		meanServiceNs: float64(meanService.Nanoseconds()),
 		batchSize:     batchSize,
-		shards:        make([]recShard, n),
+		shards:        make([]recShard, s),
+		mask:          s - 1,
 	}
 	r.warmupLeft.Store(warmup)
 	for i := range r.shards {
@@ -62,7 +80,7 @@ func (r *Recorder) record(i int, sojourn, service time.Duration) {
 	if r.warmupLeft.Add(-1) >= 0 {
 		return
 	}
-	sh := &r.shards[i]
+	sh := &r.shards[i&r.mask]
 	sh.mu.Lock()
 	sh.stream.Add(float64(sojourn) / r.meanServiceNs)
 	sh.service.Add(float64(service) / r.meanServiceNs)

@@ -1,6 +1,26 @@
 package lb
 
-import "time"
+import (
+	"sync"
+	"time"
+)
+
+// envelope is what travels over a server's channel: either one job or a
+// coalesced burst of jobs for this server. The load generator's burst
+// path groups all same-target arrivals drained on one wake-up into a
+// single send (one channel operation, one buffer), so a K-job burst to
+// one server costs one handoff instead of K; the single-job path is
+// unchanged and allocation-free.
+type envelope struct {
+	j     job
+	batch *[]job // non-nil: the jobs, in arrival order; j is unused
+}
+
+// batchPool recycles burst buffers; the consuming server returns them.
+var batchPool = sync.Pool{New: func() any {
+	b := make([]job, 0, 64)
+	return &b
+}}
 
 // server is one backend: a goroutine draining its bounded FIFO channel,
 // rendering each job's service requirement in real time through the
@@ -10,7 +30,7 @@ import "time"
 type server struct {
 	id    int
 	speed float64
-	ch    chan job
+	ch    chan envelope
 }
 
 func (s *server) run(lb *LB) {
@@ -26,47 +46,61 @@ func (s *server) run(lb *LB) {
 	// which on contended hosts would silently push the effective
 	// utilization past saturation.
 	var busyUntil time.Time
-	for j := range s.ch {
-		start := j.arrival
-		if busyUntil.After(start) {
-			start = busyUntil
-		}
-		dur := time.Duration(j.work / s.speed * lb.meanServiceNs)
-		deadline := start.Add(dur)
-		busyUntil = deadline
-		if lb.workAware {
-			// The job leaves the queued-work ledger and becomes the
-			// in-service remainder the LWL view reads from deadline.
-			slot.pending.Add(-j.workNs)
-			slot.deadline.Store(deadline.UnixNano())
-		}
-		lb.sleep.sleepUntil(deadline)
-		if lb.workAware {
-			slot.deadline.Store(0)
-		}
-		if slot.qlen.Add(-1) == 0 && lb.jiq {
-			// Queue drained: report idle (push at most once — the flag
-			// guards against a stale stack entry from a fallback dispatch).
-			if slot.onStack.CompareAndSwap(false, true) {
-				lb.idle.push(s.id)
+	for e := range s.ch {
+		if e.batch != nil {
+			for _, j := range *e.batch {
+				busyUntil = s.serve(lb, slot, busyUntil, j)
 			}
+			*e.batch = (*e.batch)[:0]
+			batchPool.Put(e.batch)
+			continue
 		}
-		if lb.lenTree != nil {
-			lb.lenTree.Update(s.id)
-		}
-		if lb.workTree != nil {
-			// The job's nominal work leaves the LWL index only now, at
-			// completion, so the index keeps counting the in-service job.
-			slot.outwork.Add(-j.workNs)
-			lb.workTree.Update(s.id)
-		}
-		end := time.Now()
-		lb.rec.record(s.id, end.Sub(j.arrival), end.Sub(start))
-		if j.counted != nil {
-			j.counted.Add(1)
-		}
-		if j.done != nil {
-			j.done <- Done{Server: s.id, Sojourn: end.Sub(j.arrival), Service: dur}
+		busyUntil = s.serve(lb, slot, busyUntil, e.j)
+	}
+}
+
+// serve renders one job and books its completion, returning the advanced
+// work clock.
+func (s *server) serve(lb *LB, slot *slot, busyUntil time.Time, j job) time.Time {
+	start := j.arrival
+	if busyUntil.After(start) {
+		start = busyUntil
+	}
+	dur := time.Duration(j.work / s.speed * lb.meanServiceNs)
+	deadline := start.Add(dur)
+	if lb.workAware {
+		// The job leaves the queued-work ledger and becomes the
+		// in-service remainder the LWL view reads from deadline.
+		slot.pending.Add(-j.workNs)
+		slot.deadline.Store(deadline.UnixNano())
+	}
+	lb.sleep.sleepUntil(deadline)
+	if lb.workAware {
+		slot.deadline.Store(0)
+	}
+	if slot.qlen.Add(-1) == 0 && lb.jiq {
+		// Queue drained: report idle (push at most once — the flag
+		// guards against a stale stack entry from a fallback dispatch).
+		if slot.onStack.CompareAndSwap(false, true) {
+			lb.idle.push(s.id)
 		}
 	}
+	if lb.lenTree != nil {
+		lb.lenTree.Update(s.id)
+	}
+	if lb.workTree != nil {
+		// The job's nominal work leaves the LWL index only now, at
+		// completion, so the index keeps counting the in-service job.
+		slot.outwork.Add(-j.workNs)
+		lb.workTree.Update(s.id)
+	}
+	end := time.Now()
+	lb.rec.record(s.id, end.Sub(j.arrival), end.Sub(start))
+	if j.counted != nil {
+		j.counted.Add(1)
+	}
+	if j.done != nil {
+		j.done <- Done{Server: s.id, Sojourn: end.Sub(j.arrival), Service: dur}
+	}
+	return deadline
 }

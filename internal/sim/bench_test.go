@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"finitelb/internal/minindex"
+	"finitelb/internal/sqd"
+	"finitelb/internal/workload"
+)
+
+// Event-core benchmarks, the feed for BENCH_sim.json (see
+// scripts/bench_sim.sh). Each op is one measured job — one arrival event
+// plus one departure event — so events/sec is 2e9/ns_per_op. The four
+// configurations cover the loops the ROADMAP's open sweeps actually pay
+// for:
+//
+//   - fast: the default wiring (Poisson/exponential/SQ(2)), which
+//     resolves onto the hand-specialized loop;
+//   - pluggable-default: the same physical system configured through the
+//     pluggable machinery with an explicit unit-speed vector — the axis
+//     that historically forced the interface loop, kept so the
+//     before/after trajectory in BENCH_sim.json lines up;
+//   - jsq-indexed: JSQ through the minindex tree at N ≥ 64 (scan below),
+//     the large-N full-information policy;
+//   - lwl-work-aware: LWL with per-job work tracking and heavy-tailed
+//     service, the most bookkeeping-intensive path.
+var benchConfigs = []struct {
+	name           string
+	explicitSpeeds bool
+	opts           func() Options
+}{
+	{"fast", false, func() Options { return Options{} }},
+	{"pluggable-default", true, func() Options {
+		return Options{Arrival: workload.Poisson{}, Service: workload.Exponential{}}
+	}},
+	{"jsq-indexed", false, func() Options { return Options{Policy: workload.JSQ{}} }},
+	{"lwl-work-aware", false, func() Options {
+		pareto, err := workload.NewBoundedPareto(1.5, 1000)
+		if err != nil {
+			panic(err)
+		}
+		return Options{Service: pareto, Policy: workload.LWL{}}
+	}},
+}
+
+var benchSizes = []int{10, 250, 1000, 10000}
+
+func BenchmarkSimJobs(b *testing.B) {
+	for _, bc := range benchConfigs {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/N=%d", bc.name, n), func(b *testing.B) {
+				p := sqd.Params{N: n, D: 2, Rho: 0.9}
+				opts := bc.opts()
+				opts.Jobs = int64(b.N)
+				opts.Warmup = 1 // skip the warmup default of Jobs/10
+				opts.Seed = 1
+				opts.setDefaults()
+				if bc.explicitSpeeds {
+					// Historically this forced the wiring off the concrete
+					// fast path onto the interface loop; both now resolve to
+					// the same typed loop, and the axis is kept so the
+					// before/after trajectory in BENCH_sim.json lines up.
+					opts.Speeds = make([]float64, n)
+					for i := range opts.Speeds {
+						opts.Speeds[i] = 1
+					}
+				}
+				w, err := resolve(p, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed)
+			})
+		}
+	}
+}
+
+// trackerLike generalizes the three completion-tracker contenders for the
+// crossover benchmark: the shipped concrete tracker (linear or 4-ary by
+// size), a forced variant of each mode, the retired container/heap binary
+// heap (kept in tracker_test.go as the reference oracle), and a
+// minindex.Seq adapter, which must pay a full argmin descent per min to
+// *name* the completing server — the structural reason it loses to the
+// heap as an event tracker despite winning as a dispatch index.
+type trackerLike interface {
+	update(id int, t float64)
+	min() (float64, int)
+}
+
+type seqTrackerBench struct {
+	tree *minindex.Seq
+	rng  *rand.Rand
+}
+
+func (s *seqTrackerBench) update(id int, t float64) { s.tree.Update(id, t) }
+func (s *seqTrackerBench) min() (float64, int)      { return s.tree.Min(), s.tree.Argmin(s.rng) }
+
+// BenchmarkTracker isolates the completion tracker: per-op one update of a
+// random server's completion time plus one min query, the exact per-event
+// footprint of the event loop. It is the crossover gauge for linearCutoff
+// and the record of why the 4-ary heap replaced both the container/heap
+// binary heap and a Seq-tree alternative.
+func BenchmarkTracker(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func(n int) trackerLike
+	}{
+		{"linear", func(n int) trackerLike {
+			t := &tracker{nodes: make([]tnode, n), n: n}
+			for i := range t.nodes {
+				t.nodes[i] = tnode{tb: infBits, id: int32(i)}
+			}
+			return t
+		}},
+		{"calendar", func(n int) trackerLike {
+			t := &tracker{n: n}
+			t.cal.init(n)
+			return t
+		}},
+		{"tour", func(n int) trackerLike { return newTourTracker(n) }},
+		{"heap4", func(n int) trackerLike { return newHeapTracker4(n) }},
+		{"heap2-container", func(n int) trackerLike { return newRefHeapTracker(n) }},
+		{"seq-tree", func(n int) trackerLike {
+			return &seqTrackerBench{tree: minindex.NewSeq(n), rng: rand.New(rand.NewPCG(9, 9))}
+		}},
+	}
+	for _, n := range []int{4, 8, 16, 32, 64, 250, 1000, 10000} {
+		for _, im := range impls {
+			b.Run(fmt.Sprintf("%s/N=%d", im.name, n), func(b *testing.B) {
+				trk := im.mk(n)
+				rng := rand.New(rand.NewPCG(1, 2))
+				for i := 0; i < n; i++ {
+					trk.update(i, rng.Float64())
+				}
+				// Event-loop-shaped op: re-key the current min to a fresh
+				// completion a service time ahead of a slowly advancing
+				// clock — the exact departure pattern of the simulator.
+				clock := 0.0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, id := trk.min()
+					if id < 0 {
+						id = rng.IntN(n)
+					}
+					clock += 1.0 / float64(n)
+					trk.update(id, clock+rng.ExpFloat64())
+				}
+			})
+		}
+	}
+}

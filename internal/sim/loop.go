@@ -1,0 +1,485 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"finitelb/internal/frand"
+	"finitelb/internal/minindex"
+	"finitelb/internal/sqd"
+	"finitelb/internal/stats"
+	"finitelb/internal/workload"
+)
+
+// loopState is the mutable per-stream state shared by every typed-loop
+// instantiation. It persists across run calls, so a stream can be driven
+// in chunks (the allocation-regression tests lean on that) with results
+// bit-identical to one uninterrupted run.
+type loopState struct {
+	servers []server
+	// qlen mirrors each server's queue length in a dense array: pickers
+	// and the loop's own length checks read 4-byte entries off a few cache
+	// lines instead of chasing into the 80-byte server structs, which at
+	// N ≥ 1000 turned every SQ(d) probe into an L2 miss. The loop updates
+	// it next to every push/pop; servers stay authoritative for contents.
+	qlen   []int32
+	speeds []float64
+	fr     *frand.RNG
+	// std wraps the same generator for code that only speaks *rand.Rand
+	// (the minindex tie-break descents); draws interleave on one stream.
+	std *rand.Rand
+	trk *tracker
+	res *stats.Stream
+
+	// Hierarchical min-indexes, mirroring the interface loop's farm trees:
+	// lenTree for indexed JSQ, workTree for indexed LWL, nil otherwise.
+	lenTree  *minindex.Seq
+	workTree *minindex.Seq
+
+	nextArrival float64
+	departed    int64
+	warmup      int64
+	measured    int64
+	now         float64 // current arrival instant, read by work-aware picks
+	maxQueue    int
+	workAware   bool
+	// unit marks a homogeneous unit-speed fleet: x/1.0 ≡ x in IEEE
+	// arithmetic, so the loops skip the requirement/speed division — a
+	// dependent FDIV feeding the tracker key — without changing a bit.
+	unit    bool
+	started bool
+
+	// buf holds measured sojourns until they are flushed to res in one
+	// AddBatch call — same accumulator arithmetic in the same order, minus
+	// the per-event call chain into three heap objects.
+	buf  [256]float64
+	bufn int
+}
+
+// flush drains the sojourn buffer into the stream.
+func (st *loopState) flush() {
+	if st.bufn > 0 {
+		st.res.AddBatch(st.buf[:st.bufn])
+		st.bufn = 0
+	}
+}
+
+// workAt is farm.Work for the typed loop: server i's time-to-drain at the
+// current arrival instant.
+func (st *loopState) workAt(i int) float64 {
+	if st.qlen[i] == 0 {
+		return 0
+	}
+	s := &st.servers[i]
+	rem := s.completion - st.now
+	if rem < 0 {
+		rem = 0
+	}
+	return s.pending/st.speeds[i] + rem
+}
+
+// noteWork re-keys server i in the work index; same key as farm.note.
+func (st *loopState) noteWork(i int) {
+	if st.qlen[i] == 0 {
+		st.workTree.Update(i, 0)
+		return
+	}
+	s := &st.servers[i]
+	st.workTree.Update(i, s.pending/st.speeds[i]+s.completion)
+}
+
+// typedRunner binds one stenciled loop instantiation to its state.
+type typedRunner struct {
+	st  *loopState
+	run func(jobs int64) // continues the stream until `jobs` measured
+}
+
+// newTypedRunner resolves a wiring onto the devirtualized event loop:
+// concrete samplers for the built-in arrival and service laws (stenciled
+// pairwise by the generic loop) and concrete pickers for the built-in
+// policies. It returns nil when any piece is exotic — a user-supplied
+// implementation of the workload interfaces — in which case runStream
+// falls back to the interface loop, which handles every wiring at one
+// virtual hop per draw.
+func newTypedRunner(p sqd.Params, w wiring, warmup int64, res *stats.Stream, seed uint64) *typedRunner {
+	st := &loopState{
+		speeds: w.speeds,
+		fr:     frand.New(seed, 0x5bd1e995),
+		res:    res,
+		warmup: warmup,
+	}
+	st.std = rand.New(st.fr)
+	pk := st.newPicker(p, w)
+	if pk == nil {
+		return nil
+	}
+	run := bindArr(st, w, pk)
+	if run == nil {
+		return nil
+	}
+	st.servers = make([]server, p.N)
+	for i := range st.servers {
+		st.servers[i].init(st.workAware)
+	}
+	st.qlen = make([]int32, p.N)
+	_, heavy := w.service.(workload.BoundedPareto)
+	st.trk = newTrackerFor(p.N, heavy)
+	st.unit = true
+	for _, sp := range w.speeds {
+		if sp != 1 {
+			st.unit = false
+			break
+		}
+	}
+	return &typedRunner{st: st, run: run}
+}
+
+// newPicker resolves the policy to a concrete picker, creating the
+// min-index the indexed variants read. The selection mirrors
+// runInterfaceLoop's farm setup exactly: trees only at
+// N ≥ minindex.Threshold, scan pickers below.
+func (st *loopState) newPicker(p sqd.Params, w wiring) picker {
+	st.workAware = w.workAware
+	switch pol := w.policy.(type) {
+	case workload.SQD:
+		perm := make([]int, p.N)
+		for i := range perm {
+			perm[i] = i
+		}
+		return &sqdPick{d: pol.D, perm: perm}
+	case workload.JSQ:
+		if p.N >= minindex.Threshold {
+			st.lenTree = minindex.NewSeq(p.N)
+			return jsqTreePick{}
+		}
+		return jsqScanPick{}
+	case workload.LWL:
+		if p.N >= minindex.Threshold {
+			st.workTree = minindex.NewSeq(p.N)
+			return lwlTreePick{}
+		}
+		return lwlScanPick{}
+	case workload.JIQ:
+		return jiqPick{}
+	case workload.RoundRobin:
+		return &rrPick{n: p.N}
+	case workload.Random:
+		return randPick{n: p.N}
+	}
+	return nil
+}
+
+// bindArr resolves the arrival law and forwards to the service-law
+// resolution; together they pick the stenciled loop instantiation. The
+// paper's own wiring — Poisson arrivals, exponential service, SQ(d) — is
+// peeled off first onto runDefault, where the three per-event draws are
+// hand-inlined rather than stenciled: generic instantiations still route
+// method calls through their shape dictionaries, and on a loop this tight
+// the call frames alone are measurable.
+func bindArr(st *loopState, w wiring, pk picker) func(int64) {
+	switch a := w.arrival.(type) {
+	case workload.Poisson:
+		if _, ok := w.service.(workload.Exponential); ok {
+			if sp, ok := pk.(*sqdPick); ok {
+				return func(jobs int64) { runDefault(st, w.rate, sp, jobs) }
+			}
+		}
+		return bindSvc(st, poissonArr{rate: w.rate}, w, pk)
+	case workload.DeterministicArrivals:
+		return bindSvc(st, constArr{gap: 1 / w.rate}, w, pk)
+	case workload.ErlangArrivals:
+		return bindSvc(st, erlangArr{k: a.K, phaseRate: float64(a.K) * w.rate}, w, pk)
+	case workload.HyperExp:
+		p1, l1, l2 := a.Phases(w.rate)
+		return bindSvc(st, hyperArr{p: p1, l1: l1, l2: l2}, w, pk)
+	}
+	return nil
+}
+
+func bindSvc[A arrSampler](st *loopState, arr A, w wiring, pk picker) func(int64) {
+	switch s := w.service.(type) {
+	case workload.Exponential:
+		return bindLoop(st, arr, expSvc{}, pk)
+	case workload.DeterministicService:
+		return bindLoop(st, arr, detSvc{}, pk)
+	case workload.ErlangService:
+		return bindLoop(st, arr, erlangSvc{k: s.K, kf: float64(s.K)}, pk)
+	case workload.BoundedPareto:
+		return bindLoop(st, arr, paretoSvc{p: s}, pk)
+	}
+	return nil
+}
+
+func bindLoop[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker) func(int64) {
+	return func(jobs int64) { runTyped(st, arr, svc, pk, jobs) }
+}
+
+// runTyped is the devirtualized event loop: structurally the interface
+// loop (runInterfaceLoop) with every hot call concrete — arrival and
+// service draws are stenciled per law pair, the tracker is the inline
+// 4-ary heap, pickers read the server slice directly, and the per-event
+// max-queue bookkeeping folds into the stream once per run call instead
+// of per arrival. Bit-identity with the interface loop across the whole
+// built-in workload matrix is pinned by TestTypedLoopMatchesInterfaceLoop;
+// the same property for the default wiring is pinned against the captured
+// pre-workload goldens by TestDefaultWorkloadBitIdentical.
+func runTyped[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker, jobs int64) {
+	servers := st.servers
+	qlen := st.qlen
+	speeds := st.speeds
+	fr := st.fr
+	trk := st.trk
+	res := st.res
+	workAware := st.workAware
+	unit := st.unit
+	lenTree, workTree := st.lenTree, st.workTree
+	if !st.started {
+		st.nextArrival = arr.next(fr)
+		st.started = true
+	}
+	nextArrival := st.nextArrival
+	departed := st.departed
+	measured := st.measured
+	maxQ := st.maxQueue
+
+	// The (min, argmin) pair is live across iterations and re-read only
+	// after a tracker update: arrivals to busy servers — the bulk of all
+	// events — leave the tracker untouched.
+	minC, minI := trk.min()
+	for measured < jobs {
+		if nextArrival <= minC {
+			now := nextArrival
+			nextArrival = now + arr.next(fr)
+			var best int
+			if workAware {
+				// Work-aware dispatch: the requirement is drawn at arrival
+				// so the picker can see the work it is placing.
+				st.now = now
+				req := svc.sample(fr)
+				best = pk.pick(st)
+				sv := &servers[best]
+				sv.pushWork(now, req)
+				l := qlen[best] + 1
+				qlen[best] = l
+				if l == 1 {
+					x := req
+					if !unit {
+						x /= speeds[best]
+					}
+					sv.completion = now + x
+					trk.update(best, sv.completion)
+					minC, minI = trk.min()
+				} else {
+					sv.pending += req
+				}
+				if workTree != nil {
+					st.noteWork(best)
+				}
+				if int(l) > maxQ {
+					maxQ = int(l)
+				}
+			} else {
+				// The tracker is authoritative for completion times on this
+				// path (server.completion is neither read nor written): the
+				// departure below reuses the root's key as `now`, so the
+				// server line is only touched for the ring push/pop.
+				best = pk.pick(st)
+				servers[best].push(now)
+				l := qlen[best] + 1
+				qlen[best] = l
+				if l == 1 {
+					x := svc.sample(fr)
+					if !unit {
+						x /= speeds[best]
+					}
+					trk.update(best, now+x)
+					minC, minI = trk.min()
+				}
+				if lenTree != nil {
+					lenTree.Update(best, float64(l))
+				}
+				if int(l) > maxQ {
+					maxQ = int(l)
+				}
+			}
+			continue
+		}
+		sv := &servers[minI]
+		now := minC
+		arrivedAt := sv.pop()
+		l := qlen[minI] - 1
+		qlen[minI] = l
+		if workAware {
+			if l > 0 {
+				req := sv.workFront()
+				sv.pending -= req
+				x := req
+				if !unit {
+					x /= speeds[minI]
+				}
+				sv.completion = now + x
+			} else {
+				sv.completion = math.Inf(1)
+			}
+			trk.update(minI, sv.completion)
+			if workTree != nil {
+				st.noteWork(minI)
+			}
+		} else {
+			if l > 0 {
+				x := svc.sample(fr)
+				if !unit {
+					x /= speeds[minI]
+				}
+				trk.update(minI, now+x)
+			} else {
+				trk.update(minI, math.Inf(1))
+			}
+			if lenTree != nil {
+				lenTree.Update(minI, float64(l))
+			}
+		}
+		minC, minI = trk.min()
+		departed++
+		if departed > st.warmup {
+			st.buf[st.bufn] = now - arrivedAt
+			st.bufn++
+			if st.bufn == len(st.buf) {
+				res.AddBatch(st.buf[:])
+				st.bufn = 0
+			}
+			measured++
+		}
+	}
+
+	st.nextArrival = nextArrival
+	st.departed = departed
+	st.measured = measured
+	st.maxQueue = maxQ
+	st.flush()
+	res.ObserveQueue(maxQ)
+}
+
+// runDefault is the typed loop hand-specialized to the paper's wiring —
+// Poisson arrivals, exponential service, SQ(d) dispatch, any speeds. It
+// is runTyped's non-work-aware body with the three per-event draws and
+// the partial Fisher–Yates pick written inline (no sampler or picker
+// call at all), because this one wiring carries the bulk of every sweep
+// the repository runs. It must stay draw-for-draw identical to the
+// generic loop; TestTypedLoopMatchesInterfaceLoop's "default" and
+// "sqd-het" wirings pin it against the interface loop, and
+// TestDefaultWorkloadBitIdentical pins it against the pre-workload
+// goldens.
+func runDefault(st *loopState, lamN float64, pk *sqdPick, jobs int64) {
+	servers := st.servers
+	qlen := st.qlen
+	speeds := st.speeds
+	fr := st.fr
+	trk := st.trk
+	res := st.res
+	unit := st.unit
+	perm := pk.perm
+	d := pk.d
+	n := len(perm)
+	if !st.started {
+		st.nextArrival = fr.ExpFloat64() / lamN
+		st.started = true
+	}
+	nextArrival := st.nextArrival
+	departed := st.departed
+	measured := st.measured
+	maxQ := st.maxQueue
+
+	// See runTyped: (min, argmin) stays in registers between tracker
+	// updates.
+	minC, minI := trk.min()
+	for measured < jobs {
+		if nextArrival <= minC {
+			now := nextArrival
+			nextArrival = now + fr.ExpFloat64()/lamN
+			// SQ(d): partial Fisher–Yates over d distinct servers, keeping
+			// the least loaded with uniform reservoir tie-breaking. The
+			// paper's d = 2 is unrolled; draws match the general loop
+			// exactly (no tie draw on the first candidate, one IntN(2) on
+			// an exact tie).
+			var best int
+			if d == 2 {
+				j := fr.IntN(n)
+				perm[0], perm[j] = perm[j], perm[0]
+				s0 := perm[0]
+				j = 1 + fr.IntN(n-1)
+				perm[1], perm[j] = perm[j], perm[1]
+				s1 := perm[1]
+				best = s0
+				l0, l1 := qlen[s0], qlen[s1]
+				if l1 < l0 || (l1 == l0 && fr.IntN(2) == 0) {
+					best = s1
+				}
+			} else {
+				bestLen, ties := int32(math.MaxInt32), 0
+				best = -1
+				for k := 0; k < d; k++ {
+					j := k + fr.IntN(n-k)
+					perm[k], perm[j] = perm[j], perm[k]
+					s := perm[k]
+					switch l := qlen[s]; {
+					case l < bestLen:
+						best, bestLen, ties = s, l, 1
+					case l == bestLen:
+						ties++
+						if fr.IntN(ties) == 0 {
+							best = s
+						}
+					}
+				}
+			}
+			servers[best].push(now)
+			l := qlen[best] + 1
+			qlen[best] = l
+			if l == 1 {
+				x := fr.ExpFloat64()
+				if !unit {
+					x /= speeds[best]
+				}
+				trk.update(best, now+x)
+				minC, minI = trk.min()
+			}
+			if int(l) > maxQ {
+				maxQ = int(l)
+			}
+			continue
+		}
+		sv := &servers[minI]
+		now := minC
+		arrivedAt := sv.pop()
+		l := qlen[minI] - 1
+		qlen[minI] = l
+		if l > 0 {
+			x := fr.ExpFloat64()
+			if !unit {
+				x /= speeds[minI]
+			}
+			trk.update(minI, now+x)
+		} else {
+			trk.update(minI, math.Inf(1))
+		}
+		minC, minI = trk.min()
+		departed++
+		if departed > st.warmup {
+			st.buf[st.bufn] = now - arrivedAt
+			st.bufn++
+			if st.bufn == len(st.buf) {
+				res.AddBatch(st.buf[:])
+				st.bufn = 0
+			}
+			measured++
+		}
+	}
+
+	st.nextArrival = nextArrival
+	st.departed = departed
+	st.measured = measured
+	st.maxQueue = maxQ
+	st.flush()
+	res.ObserveQueue(maxQ)
+}

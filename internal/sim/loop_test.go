@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"finitelb/internal/frand"
+	"finitelb/internal/sqd"
+	"finitelb/internal/stats"
+	"finitelb/internal/workload"
+)
+
+// The typed loop re-derives every built-in law and policy as concrete
+// code; these tests pin each re-derivation — and the whole loop — to the
+// interface implementations, draw for draw.
+
+// testWiring pairs Options with a heterogeneous-speed marker.
+type testWiring struct {
+	opts Options
+	het  bool
+}
+
+// testWirings is the built-in matrix the equivalence tests sweep:
+// every arrival law × a service spread × every policy appears at least
+// once, including the work-aware path and heterogeneous speeds.
+func testWirings(t *testing.T) map[string]testWiring {
+	t.Helper()
+	pareto, err := workload.NewBoundedPareto(1.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]testWiring{
+		"default":        {},
+		"det-erlang-jsq": {opts: Options{Arrival: workload.DeterministicArrivals{}, Service: workload.ErlangService{K: 3}, Policy: workload.JSQ{}}},
+		"erlang-det-jiq": {opts: Options{Arrival: workload.ErlangArrivals{K: 2}, Service: workload.DeterministicService{}, Policy: workload.JIQ{}}},
+		"hyper-pareto":   {opts: Options{Arrival: workload.HyperExp{CV2: 6}, Service: pareto, Policy: workload.Random{}}},
+		"rr":             {opts: Options{Arrival: workload.Poisson{}, Policy: workload.RoundRobin{}}},
+		"lwl-pareto":     {opts: Options{Service: pareto, Policy: workload.LWL{}}},
+		"lwl-exp-het":    {opts: Options{Policy: workload.LWL{}}, het: true},
+		"sqd-het":        {het: true},
+	}
+}
+
+// runInterfaceStream mirrors runStream's fallback arm unconditionally:
+// the interface loop over the same frand-backed stream.
+func runInterfaceStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64) *stats.Stream {
+	res := stats.NewStream(batchSize, 0.02, 25_000)
+	rng := rand.New(frand.New(seed, 0x5bd1e995))
+	servers := make([]server, p.N)
+	for i := range servers {
+		servers[i].init(w.workAware)
+	}
+	_, heavy := w.service.(workload.BoundedPareto)
+	runInterfaceLoop(p, w, servers, newTrackerFor(p.N, heavy), rng, res, jobs, warmup)
+	return res
+}
+
+// TestTypedLoopMatchesInterfaceLoop is the overhaul's master regression:
+// for every built-in wiring, at sizes below and above the minindex
+// threshold (so scan and tree pickers are both exercised), the typed
+// loop and the interface loop must produce bit-identical Results — same
+// draws, same arithmetic, different dispatch cost only.
+func TestTypedLoopMatchesInterfaceLoop(t *testing.T) {
+	for name, tw := range testWirings(t) {
+		// 6: linear tracker + scan pickers; 100: tournament tracker +
+		// indexed pickers; 600 (≥ calCutoff): the calendar-queue tracker
+		// runs inside both loops, not just in benchmarks.
+		for _, n := range []int{6, 100, 600} {
+			p := sqd.Params{N: n, D: 2, Rho: 0.85}
+			o := tw.opts
+			o.Jobs, o.Seed = 4000, 77
+			if tw.het {
+				o.Speeds = make([]float64, n)
+				for i := range o.Speeds {
+					o.Speeds[i] = 1 + float64(i%3)
+				}
+			}
+			o.setDefaults()
+			w, err := resolve(p, o)
+			if err != nil {
+				t.Fatalf("%s/N=%d: %v", name, n, err)
+			}
+			tr := newTypedRunner(p, w, o.Warmup, stats.NewStream(o.BatchSize, 0.02, 25_000), o.Seed)
+			if tr == nil {
+				t.Fatalf("%s/N=%d: built-in wiring did not resolve onto the typed loop", name, n)
+			}
+			tr.run(o.Jobs)
+			typed := result(tr.st.res)
+			iface := result(runInterfaceStream(p, w, o.Jobs, o.Warmup, o.BatchSize, o.Seed))
+			if typed != iface {
+				t.Errorf("%s/N=%d: typed loop diverged from interface loop:\ntyped %+v\niface %+v", name, n, typed, iface)
+			}
+		}
+	}
+}
+
+// TestSamplersMatchWorkload pins each concrete sampler to its workload
+// source/service over a long shared-seed draw sequence — any divergence
+// in draw count, order, or arithmetic shows immediately.
+func TestSamplersMatchWorkload(t *testing.T) {
+	// rate must be a variable: a constant 1/rate would fold at compile
+	// time under exact arithmetic, while the resolver divides at run time.
+	rate := 3.7
+	pareto, err := workload.NewBoundedPareto(2.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he := workload.HyperExp{CV2: 4}
+	p1, l1, l2 := he.Phases(rate)
+
+	arrivals := []struct {
+		law     workload.Arrival
+		sampler func(fr *frand.RNG) float64
+	}{
+		{workload.Poisson{}, poissonArr{rate: rate}.next},
+		{workload.DeterministicArrivals{}, constArr{gap: 1 / rate}.next},
+		{workload.ErlangArrivals{K: 4}, erlangArr{k: 4, phaseRate: 4 * rate}.next},
+		{he, hyperArr{p: p1, l1: l1, l2: l2}.next},
+	}
+	for _, tc := range arrivals {
+		src, err := tc.law.NewSource(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		std := rand.New(rand.NewPCG(5, 7))
+		fr := frand.New(5, 7)
+		for i := 0; i < 50_000; i++ {
+			if a, b := src.Next(std), tc.sampler(fr); a != b {
+				t.Fatalf("%v draw %d: source %v != sampler %v", tc.law, i, a, b)
+			}
+		}
+	}
+
+	services := []struct {
+		law     workload.Service
+		sampler func(fr *frand.RNG) float64
+	}{
+		{workload.Exponential{}, expSvc{}.sample},
+		{workload.DeterministicService{}, detSvc{}.sample},
+		{workload.ErlangService{K: 5}, erlangSvc{k: 5, kf: 5}.sample},
+		{pareto, paretoSvc{p: pareto}.sample},
+	}
+	for _, tc := range services {
+		std := rand.New(rand.NewPCG(11, 13))
+		fr := frand.New(11, 13)
+		for i := 0; i < 50_000; i++ {
+			if a, b := tc.law.Sample(std), tc.sampler(fr); a != b {
+				t.Fatalf("%v draw %d: Sample %v != sampler %v", tc.law, i, a, b)
+			}
+		}
+	}
+}
+
+// queuesOverState adapts a loopState to workload.Queues/WorkQueues so
+// the interface pickers can be driven against the same farm the sim
+// pickers read.
+type queuesOverState struct{ st *loopState }
+
+func (q queuesOverState) N() int        { return len(q.st.qlen) }
+func (q queuesOverState) Len(i int) int { return int(q.st.qlen[i]) }
+func (q queuesOverState) Work(i int) float64 {
+	return q.st.workAt(i)
+}
+
+// TestPickersMatchWorkload drives each scan picker pair — concrete sim
+// picker vs interface workload picker — through randomized farm states
+// with shared-seed generators, comparing every routing decision. Tree
+// pickers are covered end to end by TestTypedLoopMatchesInterfaceLoop.
+func TestPickersMatchWorkload(t *testing.T) {
+	const n = 23
+	mk := func() (*loopState, *rand.Rand, *rand.Rand) {
+		st := &loopState{
+			qlen:    make([]int32, n),
+			servers: make([]server, n),
+			speeds:  make([]float64, n),
+			fr:      frand.New(3, 9),
+		}
+		for i := range st.speeds {
+			st.speeds[i] = 1 + float64(i%2)
+		}
+		// Shared state generator (same seed both sides) plus the
+		// interface picker's own draw stream, bit-shared with st.fr.
+		return st, rand.New(rand.NewPCG(21, 4)), rand.New(rand.NewPCG(3, 9))
+	}
+	cases := []struct {
+		name string
+		pol  workload.Policy
+		mkPk func(st *loopState) picker
+	}{
+		{"sqd", workload.SQD{D: 3}, func(st *loopState) picker {
+			perm := make([]int, n)
+			for i := range perm {
+				perm[i] = i
+			}
+			return &sqdPick{d: 3, perm: perm}
+		}},
+		{"jsq-scan", workload.JSQ{}, func(*loopState) picker { return jsqScanPick{} }},
+		{"lwl-scan", workload.LWL{}, func(*loopState) picker { return lwlScanPick{} }},
+		{"jiq", workload.JIQ{}, func(*loopState) picker { return jiqPick{} }},
+		{"rr", workload.RoundRobin{}, func(*loopState) picker { return &rrPick{n: n} }},
+		{"random", workload.Random{}, func(*loopState) picker { return randPick{n: n} }},
+	}
+	for _, tc := range cases {
+		st, stateRng, stdPick := mk()
+		wp, err := tc.pol.NewPicker(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := tc.mkPk(st)
+		q := queuesOverState{st: st}
+		for step := 0; step < 20_000; step++ {
+			// Randomize the farm: lengths, and for LWL the work state.
+			for i := 0; i < n; i++ {
+				l := int32(stateRng.IntN(4))
+				st.qlen[i] = l
+				sv := &st.servers[i]
+				sv.head, sv.tail = 0, uint32(l)
+				if l == 0 {
+					sv.completion, sv.pending = 0, 0
+				} else {
+					sv.completion = st.now + stateRng.Float64()*2
+					sv.pending = stateRng.Float64() * float64(l)
+				}
+			}
+			st.now = float64(step) * 0.01
+			a := wp.Pick(stdPick, q)
+			b := sp.pick(st)
+			if a != b {
+				t.Fatalf("%s step %d: interface picker chose %d, sim picker chose %d", tc.name, step, a, b)
+			}
+		}
+	}
+}
+
+// TestExoticWiringFallsBack: user-supplied implementations of the
+// workload interfaces must decline the typed loop and still produce
+// bit-identical results through the interface loop when they delegate to
+// a built-in law.
+func TestExoticWiringFallsBack(t *testing.T) {
+	p := sqd.Params{N: 12, D: 2, Rho: 0.8}
+	builtin, err := Run(p, Options{Jobs: 5000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exotic, err := Run(p, Options{Jobs: 5000, Seed: 31, Arrival: wrappedPoisson{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builtin != exotic {
+		t.Errorf("exotic delegating wiring drifted from built-in:\nexotic  %+v\nbuiltin %+v", exotic, builtin)
+	}
+	o := Options{Jobs: 5000, Seed: 31, Arrival: wrappedPoisson{}}
+	o.setDefaults()
+	w, err := resolve(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := newTypedRunner(p, w, o.Warmup, stats.NewStream(o.BatchSize, 0.02, 25_000), o.Seed); tr != nil {
+		t.Error("exotic arrival resolved onto the typed loop")
+	}
+}
+
+// wrappedPoisson is an "exotic" arrival process that happens to delegate
+// to Poisson — unknown type to the typed resolver, identical draws.
+type wrappedPoisson struct{}
+
+func (wrappedPoisson) NewSource(rate float64) (workload.Source, error) {
+	return workload.Poisson{}.NewSource(rate)
+}
+func (wrappedPoisson) String() string { return "wrapped-poisson" }
+
+// TestTrackerModeInvariance pins tracker.go's contract at loop level:
+// the tracker mode changes only the cost of finding the next completion,
+// never the draws — a full run on the production mode (calendar at this
+// size) must be bit-identical to the same run forced onto the tournament
+// tree and the 4-ary heap contender is covered by the property test.
+func TestTrackerModeInvariance(t *testing.T) {
+	p := sqd.Params{N: 600, D: 2, Rho: 0.9}
+	for name, opts := range map[string]Options{
+		"default": {Jobs: 8000, Seed: 13},
+		"jsq":     {Jobs: 8000, Seed: 13, Policy: workload.JSQ{}},
+	} {
+		opts.setDefaults()
+		w, err := resolve(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := newTypedRunner(p, w, opts.Warmup, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		if prod.st.trk.cal.keys == nil {
+			t.Fatalf("%s: N=%d did not select the calendar tracker", name, p.N)
+		}
+		prod.run(opts.Jobs)
+		forced := newTypedRunner(p, w, opts.Warmup, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		forced.st.trk = &tracker{tour: newTourTracker(p.N), n: p.N}
+		forced.run(opts.Jobs)
+		if a, b := result(prod.st.res), result(forced.st.res); a != b {
+			t.Errorf("%s: tracker mode changed the run:\ncalendar   %+v\ntournament %+v", name, a, b)
+		}
+	}
+}
+
+// TestTypedChunkedRuns: driving a typed runner in many small chunks must
+// be bit-identical to one uninterrupted run — the property the
+// allocation-regression guard leans on.
+func TestTypedChunkedRuns(t *testing.T) {
+	p := sqd.Params{N: 40, D: 2, Rho: 0.85}
+	for name, opts := range map[string]Options{
+		"default": {Jobs: 6000, Seed: 5},
+		"lwl":     {Jobs: 6000, Seed: 5, Policy: workload.LWL{}},
+	} {
+		opts.setDefaults()
+		w, err := resolve(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := newTypedRunner(p, w, opts.Warmup, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		one.run(opts.Jobs)
+		chunked := newTypedRunner(p, w, opts.Warmup, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		for j := int64(500); j <= opts.Jobs; j += 500 {
+			chunked.run(j)
+		}
+		if a, b := result(one.st.res), result(chunked.st.res); a != b {
+			t.Errorf("%s: chunked stream drifted from one-shot:\nchunked %+v\noneshot %+v", name, b, a)
+		}
+	}
+}
+
+// TestAllocFreeEventPath is the allocation-regression guard of the
+// tentpole: after warmup (rings grown, buffers sized), the default and
+// the work-aware typed event paths must run allocation-free. BatchSize
+// exceeds the measured jobs so no batch-means append lands mid-chunk,
+// and the histogram/ring growth all happens in the warm phase.
+func TestAllocFreeEventPath(t *testing.T) {
+	p := sqd.Params{N: 100, D: 2, Rho: 0.9}
+	pareto, err := workload.NewBoundedPareto(1.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]Options{
+		"default":        {Seed: 3},
+		"jsq-indexed":    {Seed: 3, Policy: workload.JSQ{}},
+		"lwl-work-aware": {Seed: 3, Service: pareto, Policy: workload.LWL{}},
+	} {
+		opts.Jobs = 1 << 30 // never reached; chunks drive the stream
+		opts.BatchSize = 1 << 40
+		opts.setDefaults()
+		w, err := resolve(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := newTypedRunner(p, w, 0, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		if tr == nil {
+			t.Fatalf("%s: wiring did not resolve onto the typed loop", name)
+		}
+		jobs := int64(50_000) // warm: grow rings, touch histogram bins
+		tr.run(jobs)
+		const chunk = 10_000
+		avg := testing.AllocsPerRun(5, func() {
+			jobs += chunk
+			tr.run(jobs)
+		})
+		if avg != 0 {
+			t.Errorf("%s: %v allocs per %d-job chunk, want 0", name, avg, chunk)
+		}
+	}
+}

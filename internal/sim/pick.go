@@ -1,0 +1,154 @@
+package sim
+
+import "math"
+
+// The typed loop's pickers are concrete re-derivations of the
+// internal/workload pickers, specialized to the simulator's own farm
+// state: queue lengths and backlogs are read straight off the server
+// slice (inlined), rng draws come from the concrete frand generator, and
+// the indexed variants go straight to the min-trees without the
+// ArgminQueues type-assertion detour. Each picker must reproduce its
+// workload counterpart's rng consumption exactly — same draws, same
+// order — which TestPickersMatchWorkload pins picker by picker and the
+// loop equivalence tests pin end to end.
+//
+// pick is one indirect call per arrival (the pickers are held as this
+// interface); everything inside is concrete.
+type picker interface {
+	pick(st *loopState) int
+}
+
+// sqdPick mirrors workload.SQD's picker: partial Fisher–Yates over a
+// persistent permutation, reservoir tie-breaking.
+type sqdPick struct {
+	d    int
+	perm []int
+}
+
+func (pk *sqdPick) pick(st *loopState) int {
+	fr := st.fr
+	qlen := st.qlen
+	n := len(pk.perm)
+	best, bestLen, ties := -1, int32(math.MaxInt32), int32(0)
+	for k := 0; k < pk.d; k++ {
+		j := k + fr.IntN(n-k)
+		pk.perm[k], pk.perm[j] = pk.perm[j], pk.perm[k]
+		s := pk.perm[k]
+		switch l := qlen[s]; {
+		case l < bestLen:
+			best, bestLen, ties = s, l, 1
+		case l == bestLen:
+			ties++
+			if fr.IntN(int(ties)) == 0 {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// jsqScanPick mirrors workload.JSQ's reference scan: rotated origin,
+// reservoir tie-breaking.
+type jsqScanPick struct{}
+
+func (jsqScanPick) pick(st *loopState) int {
+	fr := st.fr
+	qlen := st.qlen
+	n := len(qlen)
+	start := fr.IntN(n)
+	best, bestLen, ties := start, qlen[start], 1
+	for k := 1; k < n; k++ {
+		i := start + k
+		if i >= n {
+			i -= n
+		}
+		switch l := qlen[i]; {
+		case l < bestLen:
+			best, bestLen, ties = i, l, 1
+		case l == bestLen:
+			ties++
+			if fr.IntN(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// jsqTreePick mirrors workload.JSQ through a maintained length index: the
+// tree descent consumes the same tie-break draws the interface path does,
+// through the std wrapper over the same generator.
+type jsqTreePick struct{}
+
+func (jsqTreePick) pick(st *loopState) int { return st.lenTree.Argmin(st.std) }
+
+// lwlScanPick mirrors workload.LWL's reference scan over time-to-drain.
+type lwlScanPick struct{}
+
+func (lwlScanPick) pick(st *loopState) int {
+	fr := st.fr
+	n := len(st.qlen)
+	start := fr.IntN(n)
+	best, bestWork, ties := start, st.workAt(start), 1
+	for k := 1; k < n; k++ {
+		i := start + k
+		if i >= n {
+			i -= n
+		}
+		switch w := st.workAt(i); {
+		case w < bestWork:
+			best, bestWork, ties = i, w, 1
+		case w == bestWork:
+			ties++
+			if fr.IntN(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// lwlTreePick mirrors workload.LWL through the maintained work index.
+type lwlTreePick struct{}
+
+func (lwlTreePick) pick(st *loopState) int { return st.workTree.Argmin(st.std) }
+
+// jiqPick mirrors workload.JIQ: reservoir over idle servers, uniform
+// fallback.
+type jiqPick struct{}
+
+func (jiqPick) pick(st *loopState) int {
+	fr := st.fr
+	qlen := st.qlen
+	n := len(qlen)
+	idle, count := -1, 0
+	for i := 0; i < n; i++ {
+		if qlen[i] == 0 {
+			count++
+			if fr.IntN(count) == 0 {
+				idle = i
+			}
+		}
+	}
+	if count > 0 {
+		return idle
+	}
+	return fr.IntN(n)
+}
+
+// rrPick mirrors workload.RoundRobin: a cursor, no draws.
+type rrPick struct{ n, next int }
+
+func (pk *rrPick) pick(*loopState) int {
+	i := pk.next
+	pk.next++
+	if pk.next == pk.n {
+		pk.next = 0
+	}
+	return i
+}
+
+// randPick mirrors workload.Random: one uniform draw.
+type randPick struct{ n int }
+
+func (pk randPick) pick(st *loopState) int { return st.fr.IntN(pk.n) }

@@ -14,12 +14,12 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand/v2"
 
 	"finitelb/internal/engine"
+	"finitelb/internal/frand"
 	"finitelb/internal/minindex"
 	"finitelb/internal/sqd"
 	"finitelb/internal/stats"
@@ -96,11 +96,6 @@ type wiring struct {
 	policy  workload.Policy
 	speeds  []float64 // always length N
 	rate    float64   // aggregate arrival rate ρ·Σspeeds
-	// fastPath marks the paper's default wiring (Poisson, exponential,
-	// SQ(Params.D), homogeneous unit speeds), which runs the concrete
-	// pre-workload loop instead of paying interface dispatch per event.
-	// Both loops are pinned to the same bit-identity goldens.
-	fastPath bool
 	// workAware marks policies that dispatch on outstanding work (LWL):
 	// the event loop then draws each job's requirement at arrival and
 	// exposes per-server work through the workload.WorkQueues view.
@@ -147,10 +142,6 @@ func resolve(p sqd.Params, o Options) (wiring, error) {
 		return wiring{}, err
 	}
 	_, w.workAware = w.policy.(workload.WorkAware)
-	w.fastPath = o.Speeds == nil &&
-		w.arrival == workload.Arrival(workload.Poisson{}) &&
-		w.service == workload.Service(workload.Exponential{}) &&
-		w.policy == workload.Policy(workload.SQD{D: p.D})
 	return w, nil
 }
 
@@ -175,92 +166,83 @@ func (r Result) String() string {
 // absolute completion time of the in-service job. Under a work-aware
 // policy (LWL) it additionally carries each queued job's service
 // requirement, drawn at arrival, and the total not-yet-started work.
+//
+// The queue is a power-of-two ring buffer indexed by free-running
+// head/tail counters: push and pop are a masked store/load each, with no
+// append machinery and no compaction copies on the hot path (the old
+// slice queue's occasional memmove plus its per-pop compaction check were
+// ~5% of event time). Memory stays bounded at the high-water queue length
+// rounded up to a power of two; grow doubles both rings together so the
+// work alignment is preserved.
 type server struct {
-	arrivals   []float64 // arrival times; arrivals[head] is in service
-	work       []float64 // per-job requirements, aligned with arrivals (work-aware runs only)
-	head       int
-	completion float64 // +Inf when idle
-	pending    float64 // Σ requirements of queued jobs not yet in service
+	arrivals   []float64 // ring, len a power of two; head slot is in service
+	work       []float64 // ring aligned with arrivals (work-aware runs only)
+	head, tail uint32    // free-running; index = counter & (len−1)
+	completion float64   // +Inf when idle
+	pending    float64   // Σ requirements of queued jobs not yet in service
 }
 
-func (s *server) length() int { return len(s.arrivals) - s.head }
+// serverRingInit is the initial ring capacity (must be a power of two);
+// queues deeper than this double in place.
+const serverRingInit = 16
 
-func (s *server) push(t float64) { s.arrivals = append(s.arrivals, t) }
+func (s *server) init(workAware bool) {
+	s.completion = math.Inf(1)
+	s.arrivals = make([]float64, serverRingInit)
+	if workAware {
+		s.work = make([]float64, serverRingInit)
+	}
+}
+
+func (s *server) length() int { return int(s.tail - s.head) }
+
+func (s *server) push(t float64) {
+	if int(s.tail-s.head) == len(s.arrivals) {
+		s.grow()
+	}
+	s.arrivals[s.tail&uint32(len(s.arrivals)-1)] = t
+	s.tail++
+}
+
+// pushWork appends an arrival stamp together with the job's requirement.
+func (s *server) pushWork(t, req float64) {
+	if int(s.tail-s.head) == len(s.arrivals) {
+		s.grow()
+	}
+	i := s.tail & uint32(len(s.arrivals)-1)
+	s.arrivals[i] = t
+	s.work[i] = req
+	s.tail++
+}
 
 func (s *server) pop() float64 {
-	v := s.arrivals[s.head]
+	v := s.arrivals[s.head&uint32(len(s.arrivals)-1)]
 	s.head++
-	// Compact occasionally so memory stays bounded on long runs.
-	if s.head > 64 && s.head*2 >= len(s.arrivals) {
-		s.arrivals = append(s.arrivals[:0], s.arrivals[s.head:]...)
-		if s.work != nil {
-			s.work = append(s.work[:0], s.work[s.head:]...)
-		}
-		s.head = 0
-	}
 	return v
 }
 
-// tracker finds the earliest pending service completion.
-type tracker interface {
-	update(id int, t float64)
-	min() (float64, int)
+// workFront returns the requirement of the job at the head of the queue —
+// after a pop, the job now entering service.
+func (s *server) workFront() float64 {
+	return s.work[s.head&uint32(len(s.work)-1)]
 }
 
-// linearTracker scans all servers; optimal for the small N of Figure 10.
-type linearTracker struct{ servers []server }
-
-func (l *linearTracker) update(int, float64) {}
-
-func (l *linearTracker) min() (float64, int) {
-	best, id := math.Inf(1), -1
-	for i := range l.servers {
-		if l.servers[i].completion < best {
-			best, id = l.servers[i].completion, i
+func (s *server) grow() {
+	oldMask := uint32(len(s.arrivals) - 1)
+	na := make([]float64, 2*len(s.arrivals))
+	newMask := uint32(len(na) - 1)
+	for j := s.head; j != s.tail; j++ {
+		na[j&newMask] = s.arrivals[j&oldMask]
+	}
+	s.arrivals = na
+	if s.work != nil {
+		nw := make([]float64, len(na))
+		for j := s.head; j != s.tail; j++ {
+			nw[j&newMask] = s.work[j&oldMask]
 		}
+		s.work = nw
 	}
-	return best, id
 }
-
-// heapTracker is an indexed min-heap; preferable for the N = 250 sweeps of
-// Figure 9.
-type heapTracker struct {
-	times []float64
-	ids   []int
-	pos   []int // server id → heap slot
-}
-
-func newHeapTracker(n int) *heapTracker {
-	h := &heapTracker{
-		times: make([]float64, n),
-		ids:   make([]int, n),
-		pos:   make([]int, n),
-	}
-	for i := 0; i < n; i++ {
-		h.times[i] = math.Inf(1)
-		h.ids[i] = i
-		h.pos[i] = i
-	}
-	return h
-}
-
-func (h *heapTracker) Len() int           { return len(h.times) }
-func (h *heapTracker) Less(i, j int) bool { return h.times[i] < h.times[j] }
-func (h *heapTracker) Swap(i, j int) {
-	h.times[i], h.times[j] = h.times[j], h.times[i]
-	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
-	h.pos[h.ids[i]], h.pos[h.ids[j]] = i, j
-}
-func (h *heapTracker) Push(any) { panic("sim: fixed-size heap") }
-func (h *heapTracker) Pop() any { panic("sim: fixed-size heap") }
-
-func (h *heapTracker) update(id int, t float64) {
-	i := h.pos[id]
-	h.times[i] = t
-	heap.Fix(h, i)
-}
-
-func (h *heapTracker) min() (float64, int) { return h.times[0], h.ids[0] }
 
 // result converts a merged measurement stream into the public Result.
 func result(s *stats.Stream) Result {
@@ -397,96 +379,34 @@ func (f *farm) Work(i int) float64 {
 }
 
 // runStream runs one discrete-event stream. The wiring must have passed
-// resolve, so instantiating its pieces cannot fail. The default wiring
-// takes the concrete fast path; every other configuration runs the
-// pluggable loop. Both produce the same draw sequence for the default
-// pieces, which is what keeps the bit-identity regression tests green
-// (they pin each path against the same pre-workload goldens).
+// resolve, so instantiating its pieces cannot fail. Every built-in
+// workload resolves onto the devirtualized typed loop (see loop.go);
+// exotic wirings — user implementations of the workload interfaces — run
+// the interface loop below. Both loops produce the same draw sequence for
+// the same wiring, which is what keeps the bit-identity regression tests
+// green (they pin each path against the same pre-workload goldens).
 func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64) *stats.Stream {
-	rng := rand.New(rand.NewPCG(seed, 0x5bd1e995))
-
-	servers := make([]server, p.N)
-	for i := range servers {
-		servers[i].completion = math.Inf(1)
-	}
-	var trk tracker
-	if p.N <= 16 {
-		trk = &linearTracker{servers: servers}
-	} else {
-		trk = newHeapTracker(p.N)
-	}
 	// The histogram covers sojourns up to 500 service times.
 	res := stats.NewStream(batchSize, 0.02, 25_000)
-	if w.fastPath {
-		runFastLoop(p, w.rate, servers, trk, rng, res, jobs, warmup)
-	} else {
-		runPluggableLoop(p, w, servers, trk, rng, res, jobs, warmup)
+	if tr := newTypedRunner(p, w, warmup, res, seed); tr != nil {
+		tr.run(jobs)
+		return res
 	}
+
+	// frand is bit-identical to rand.NewPCG, so the fallback stream stays
+	// on the seed trajectory the goldens were captured from.
+	rng := rand.New(frand.New(seed, 0x5bd1e995))
+	servers := make([]server, p.N)
+	for i := range servers {
+		servers[i].init(w.workAware)
+	}
+	_, heavy := w.service.(workload.BoundedPareto)
+	runInterfaceLoop(p, w, servers, newTrackerFor(p.N, heavy), rng, res, jobs, warmup)
 	return res
 }
 
-// runFastLoop is the pre-workload event loop, verbatim: Poisson arrivals,
-// SQ(d) by partial Fisher–Yates, exponential unit-rate service, all with
-// concrete types so the per-event cost carries no interface dispatch. It
-// must never change behaviour without runPluggableLoop changing in
-// lockstep — TestDefaultWorkloadBitIdentical holds both to the same bits.
-func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng *rand.Rand, res *stats.Stream, jobs, warmup int64) {
-	perm := make([]int, p.N)
-	for i := range perm {
-		perm[i] = i
-	}
-	nextArrival := rng.ExpFloat64() / lamN
-	var departed int64
-
-	for res.N() < jobs {
-		minC, minI := trk.min()
-		if nextArrival <= minC {
-			now := nextArrival
-			nextArrival = now + rng.ExpFloat64()/lamN
-			// Sample d distinct servers by partial Fisher–Yates, keeping
-			// the least-loaded with uniform tie breaking.
-			best, bestLen, ties := -1, math.MaxInt, 0
-			for k := 0; k < p.D; k++ {
-				j := k + rng.IntN(p.N-k)
-				perm[k], perm[j] = perm[j], perm[k]
-				s := perm[k]
-				switch l := servers[s].length(); {
-				case l < bestLen:
-					best, bestLen, ties = s, l, 1
-				case l == bestLen:
-					ties++
-					if rng.IntN(ties) == 0 {
-						best = s
-					}
-				}
-			}
-			sv := &servers[best]
-			sv.push(now)
-			if sv.length() == 1 {
-				sv.completion = now + rng.ExpFloat64()
-				trk.update(best, sv.completion)
-			}
-			res.ObserveQueue(sv.length())
-			continue
-		}
-		sv := &servers[minI]
-		now := sv.completion
-		arrivedAt := sv.pop()
-		if sv.length() > 0 {
-			sv.completion = now + rng.ExpFloat64()
-		} else {
-			sv.completion = math.Inf(1)
-		}
-		trk.update(minI, sv.completion)
-		departed++
-		if departed > warmup {
-			res.Add(now - arrivedAt)
-		}
-	}
-}
-
-// runPluggableLoop is the workload-agnostic event loop: identical
-// structure to runFastLoop with the arrival source, dispatch picker,
+// runInterfaceLoop is the workload-agnostic event loop: identical
+// structure to the typed loop with the arrival source, dispatch picker,
 // service law, and speed factors drawn through the workload interfaces.
 //
 // Under a work-aware policy (wiring.workAware) each job's service
@@ -497,7 +417,7 @@ func runFastLoop(p sqd.Params, lamN float64, servers []server, trk tracker, rng 
 // the current arrival instant. The draw *sequence* therefore differs from
 // the non-work-aware loop, but each job's requirement is the same i.i.d.
 // law, so all configurations remain distributionally identical.
-func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng *rand.Rand, res *stats.Stream, jobs, warmup int64) {
+func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rng *rand.Rand, res *stats.Stream, jobs, warmup int64) {
 	src, err := w.arrival.NewSource(w.rate)
 	if err != nil {
 		panic("sim: unresolved wiring: " + err.Error())
@@ -524,11 +444,6 @@ func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng
 	indexed := wf.lenTree != nil || wf.workTree != nil
 	var queues workload.Queues = wf
 	svc, speeds := w.service, w.speeds
-	if w.workAware {
-		for i := range servers {
-			servers[i].work = make([]float64, 0, 16)
-		}
-	}
 
 	nextArrival := src.Next(rng)
 	var departed int64
@@ -544,8 +459,7 @@ func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng
 				req := svc.Sample(rng)
 				best = picker.Pick(rng, queues)
 				sv := &servers[best]
-				sv.push(now)
-				sv.work = append(sv.work, req)
+				sv.pushWork(now, req)
 				if sv.length() == 1 {
 					sv.completion = now + req/speeds[best]
 					trk.update(best, sv.completion)
@@ -573,7 +487,7 @@ func runPluggableLoop(p sqd.Params, w wiring, servers []server, trk tracker, rng
 		if sv.length() > 0 {
 			var req float64
 			if w.workAware {
-				req = sv.work[sv.head]
+				req = sv.workFront()
 				sv.pending -= req
 			} else {
 				req = svc.Sample(rng)

@@ -26,11 +26,13 @@ func TestDefaultWorkloadBitIdentical(t *testing.T) {
 		{sqd.Params{N: 1, D: 1, Rho: 0.8}, 30000, 3, Result{MeanDelay: 4.827190951294011, MeanWait: 3.8271909512940114, HalfWidth: 0.39756853579283563, Jobs: 30000, MaxQueue: 34, P50: 3.406265060240964, P95: 14.604000000000001, P99: 21.78}},
 		{sqd.Params{N: 32, D: 3, Rho: 0.9}, 30000, 5, Result{MeanDelay: 2.1811708885589995, MeanWait: 1.1811708885589995, HalfWidth: 0.06962070271109749, Jobs: 30000, MaxQueue: 7, P50: 1.770748299319728, P95: 5.586666666666666, P99: 7.937142857142857}},
 	} {
-		// Three routes to the same bits: everything defaulted (concrete
-		// fast path), the default pieces spelled out explicitly (still the
-		// fast path), and an explicit all-ones speed vector — which forces
-		// the pluggable interface loop, proving both event loops run the
-		// identical draw sequence.
+		// Three routes to the same bits: everything defaulted, the default
+		// pieces spelled out explicitly, and an explicit all-ones speed
+		// vector. All three now resolve onto the specialized default loop
+		// (the speed vector historically forced the interface loop, which
+		// is pinned to the same draws by TestTypedLoopMatchesInterfaceLoop
+		// and TestExoticWiringFallsBack); the third route keeps the
+		// division-by-speed arm on the golden trajectory.
 		explicit := Options{
 			Jobs: tc.jobs, Seed: tc.seed,
 			Arrival: workload.Poisson{},
@@ -43,9 +45,9 @@ func TestDefaultWorkloadBitIdentical(t *testing.T) {
 			unitSpeeds.Speeds[i] = 1
 		}
 		for name, opts := range map[string]Options{
-			"defaulted":      {Jobs: tc.jobs, Seed: tc.seed},
-			"explicit":       explicit,
-			"pluggable-loop": unitSpeeds,
+			"defaulted":       {Jobs: tc.jobs, Seed: tc.seed},
+			"explicit":        explicit,
+			"explicit-speeds": unitSpeeds,
 		} {
 			got, err := Run(tc.p, opts)
 			if err != nil {

@@ -127,7 +127,14 @@ func bpMoment(alpha, l, h float64, k int) float64 {
 
 // Sample implements Service via the inverse CDF: one uniform draw.
 func (p BoundedPareto) Sample(rng *rand.Rand) float64 {
-	u := rng.Float64()
+	return p.Quantile(rng.Float64())
+}
+
+// Quantile is the law's inverse CDF on [0, 1). It is exported so hosts
+// that draw their own uniforms (the simulator's devirtualized event loop)
+// sample through byte-for-byte the same arithmetic as Sample; the two
+// share this implementation and cannot drift.
+func (p BoundedPareto) Quantile(u float64) float64 {
 	return p.l / math.Pow(1-u*p.ratioA, 1/p.Alpha)
 }
 

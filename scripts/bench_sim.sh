@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench_sim.sh — run the simulator event-core benchmarks and emit
+# BENCH_sim.json at the repository root: one record per benchmark with
+# ns/job, derived events/sec (one measured job = one arrival event + one
+# departure event, so events/sec = 2e9 / ns_per_op), and allocation
+# counts. The sim counterpart of bench_lb.sh/BENCH_lb.json — rerun after
+# touching the event core and diff.
+#
+# Axes: BenchmarkSimJobs covers {fast, pluggable-default, jsq-indexed,
+# lwl-work-aware} × N ∈ {10, 250, 1000, 10000} at ρ = 0.9, d = 2. The
+# pre-overhaul baseline (scripts/bench_sim_baseline.json, captured at the
+# PR-4 head) is embedded verbatim under "baseline" so the before/after
+# trajectory travels with the file.
+#
+# Usage:  scripts/bench_sim.sh            # default 0.5s per benchmark
+#         BENCHTIME=2s scripts/bench_sim.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench 'BenchmarkSimJobs' -benchmem \
+    -benchtime "${BENCHTIME:-0.5s}" ./internal/sim | tee "$raw"
+
+awk '
+/^goos|^goarch|^cpu/ { meta[$1] = substr($0, index($0, $2)); next }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    printf("%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"events_per_sec\":%.0f,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+           sep, name, $2, $3, 2e9 / $3, $5, $7)
+    sep = ",\n"
+}
+END {
+    printf("\n  ],\n")
+    printf("  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", meta["goos:"], meta["goarch:"], meta["cpu:"])
+    printf("  \"unit\": \"ns per job (2 events)\",\n")
+    printf("  \"baseline\":\n")
+}
+BEGIN { printf("{\n  \"benchmarks\": [\n") }
+' "$raw" > BENCH_sim.json
+sed 's/^/  /' scripts/bench_sim_baseline.json >> BENCH_sim.json
+echo "}" >> BENCH_sim.json
+
+echo "wrote BENCH_sim.json ($(grep -c '"name"' BENCH_sim.json) records incl. baseline)"
