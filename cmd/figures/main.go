@@ -26,7 +26,20 @@ func main() {
 		out     = flag.String("out", ".", "directory for CSV output")
 		workers = flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS); output is identical for any value")
 	)
+	flag.Usage = usage
 	flag.Parse()
+
+	validFigs := map[string]bool{"9a": true, "9b": true, "10a": true, "10b": true, "10c": true, "10d": true, "all": true}
+	if !validFigs[*fig] {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n\n", *fig)
+		usage()
+		os.Exit(2)
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -jobs %d must be ≥ 1\n\n", *jobs)
+		usage()
+		os.Exit(2)
+	}
 
 	budget := figures.SimBudget{Jobs: *jobs, Seed: *seed, Workers: *workers}
 	run := func(name string) error {
@@ -76,6 +89,23 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: figures [flags]
+
+Regenerates the data figures of the paper's evaluation (Section V) as
+ASCII charts on stdout and CSV files on disk.
+
+  figures -fig 10a                    # one panel, default budget
+  figures -fig all -jobs 100000000    # full paper fidelity (slow)
+  figures -fig 9b -out results/       # CSV destination
+
+Figures: 9a, 9b, 10a, 10b, 10c, 10d, all.
+
+Flags:
+`)
+	flag.PrintDefaults()
 }
 
 // emit renders the chart to stdout and writes its CSV beside it.

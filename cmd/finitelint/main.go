@@ -1,0 +1,241 @@
+// Command finitelint runs the finitelb analyzer suite (internal/lint)
+// over Go packages. It speaks the go vet -vettool protocol, so the two
+// supported invocations are:
+//
+//	finitelint ./...                                 # standalone: drives go vet itself
+//	go vet -vettool=$(which finitelint) ./...        # as a vet tool
+//
+// Standalone mode simply re-execs `go vet -vettool=<self> <args>`: the
+// go command does package loading, export data, and caching; this binary
+// is then called back once per package with a .cfg file (the unitchecker
+// protocol) and analyzes that single unit.
+//
+// The protocol, as implemented by cmd/go:
+//
+//   - `finitelint -V=full` prints a version fingerprint used as a cache
+//     key;
+//   - `finitelint -flags` prints a JSON description of tool flags ([]);
+//   - `finitelint <file>.cfg` analyzes one package: the cfg names the
+//     source files, the import map, and the export-data files of every
+//     dependency, and the tool must write the (empty) facts file named
+//     by VetxOutput and exit 2 if it reported diagnostics.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"finitelb/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			return printVersion()
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return analyzeUnit(args[0])
+		}
+	}
+	if len(args) > 0 && args[0] == "help" {
+		usage()
+		return 0
+	}
+	return standalone(args)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: finitelint [packages]
+
+Runs the finitelb invariant analyzers (%s) over the
+named packages (default ./...) by driving go vet. Also usable directly:
+
+    go vet -vettool=$(which finitelint) ./...
+`, analyzerNames())
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range lint.Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// printVersion emits the fingerprint go vet uses to key its analysis
+// cache: the content hash of this executable, so rebuilding finitelint
+// invalidates cached results. The line format is fixed by cmd/go.
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finitelint:", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finitelint:", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "finitelint:", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil))
+	return 0
+}
+
+// standalone re-execs go vet with this binary as the vettool.
+func standalone(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finitelint:", err)
+		return 1
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "finitelint:", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON payload cmd/go writes for each package unit.
+// Field set and meaning are fixed by the unitchecker protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func analyzeUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finitelint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "finitelint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The facts file must exist even when empty, or go vet reports the
+	// tool as failed. This suite uses no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "finitelint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "finitelint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies resolve through the export data the go command
+	// already compiled: vet import path -> canonical path -> .a file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exportFile, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exportFile)
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:    types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "finitelint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	findings, err := lint.Run(fset, files, cfg.ImportPath, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "finitelint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos.Filename != findings[j].Pos.Filename {
+			return findings[i].Pos.Filename < findings[j].Pos.Filename
+		}
+		return findings[i].Pos.Offset < findings[j].Pos.Offset
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolEndToEnd is the acceptance check for the whole pipeline:
+// build the real binary, point go vet at a scratch module named finitelb
+// that seeds one deliberate violation per analyzer family, and assert
+// vet fails with the expected findings; then fix the module and assert
+// vet passes. This exercises the -V=full/-flags handshake, the .cfg
+// unitchecker mode, export-data importing, and the exit-code contract —
+// everything the CI lint job depends on.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and drives go vet; skipped under -short")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go tool on PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "finitelint")
+	out, err := exec.Command(goTool, "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building finitelint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		full := filepath.Join(mod, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The scratch module takes the real module's name so its packages
+	// land in the analyzers' deterministic set.
+	write("go.mod", "module finitelb\n\ngo 1.22\n")
+	write("internal/sim/sim.go", `package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Step() float64 {
+	start := time.Now()
+	v := rand.Float64()
+	return v + float64(time.Since(start))
+}
+`)
+	write("internal/sim/hot.go", `package sim
+
+import "fmt"
+
+//finitelb:hotpath
+func event(i int) string {
+	return fmt.Sprintf("ev%d", i)
+}
+`)
+
+	vet := func() (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out1, err := vet()
+	if err == nil {
+		t.Fatalf("go vet passed on a module with seeded violations; output:\n%s", out1)
+	}
+	for _, wantFinding := range []string{
+		"time.Now in deterministic package",
+		"time.Since in deterministic package",
+		"global math/rand.Float64 in deterministic package",
+		"call to fmt.Sprintf on hot path",
+	} {
+		if !strings.Contains(out1, wantFinding) {
+			t.Errorf("vet output missing %q; got:\n%s", wantFinding, out1)
+		}
+	}
+
+	// Fix both files; the tree must come back clean.
+	write("internal/sim/sim.go", `package sim
+
+func Step() float64 { return 0.5 }
+`)
+	write("internal/sim/hot.go", `package sim
+
+//finitelb:hotpath
+func event(i int) int { return i + 1 }
+`)
+	if out2, err := vet(); err != nil {
+		t.Fatalf("go vet failed on the fixed module: %v\n%s", err, out2)
+	}
+}

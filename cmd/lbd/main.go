@@ -268,7 +268,9 @@ func newMux(farm *lb.LB, svc workload.Service, seed uint64) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
+		// Headers are already written; an encode failure here means the
+		// client hung up and there is no different response to send.
+		_ = json.NewEncoder(w).Encode(map[string]any{
 			"server":     done.Server,
 			"work":       work,
 			"service_ms": float64(done.Service) / 1e6,

@@ -28,11 +28,15 @@ func main() {
 		jobs  = flag.Int64("jobs", 2_000_000, "simulated jobs when -sim is set")
 		seed  = flag.Uint64("seed", 1, "simulation RNG seed")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
+	if *t < 1 {
+		fatalUsage(fmt.Errorf("-t %d: truncation threshold must be ≥ 1", *t))
+	}
 	sys, err := finitelb.NewSystem(*n, *d, *rho)
 	if err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
 	fmt.Printf("SQ(%d) with N=%d servers at ρ=%g (T=%d)\n\n", *d, *n, *rho, *t)
 
@@ -71,7 +75,34 @@ func main() {
 	}
 }
 
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: sqdelay [flags]
+
+Point queries about an SQ(d) system: the paper's finite-regime delay
+bounds, the asymptotic approximation, and optionally the exact solve
+and a simulation estimate.
+
+  sqdelay -n 6 -d 2 -rho 0.9 -t 3
+  sqdelay -n 3 -d 2 -rho 0.8 -t 2 -exact -sim -jobs 5000000
+
+Parameter grammar: 1 ≤ d ≤ n, ρ ∈ (0,1), T ≥ 1.
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+// fatal reports a runtime failure (solver breakdown, unstable regime
+// already explained inline) without usage noise.
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "sqdelay: %v\n", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a bad flag combination with the grammar and exits 2,
+// matching the flag package's own exit code for undefined flags.
+func fatalUsage(err error) {
+	fmt.Fprintf(os.Stderr, "sqdelay: %v\n\n", err)
+	usage()
+	os.Exit(2)
 }

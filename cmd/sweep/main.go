@@ -52,18 +52,31 @@ func main() {
 		jobs     = flag.Float64("jobs", 200_000, "measured jobs per sim cell")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	switch *mode {
 	case "accuracy":
+		if *tmax < 1 {
+			fatalUsage(fmt.Errorf("-tmax %d must be ≥ 1", *tmax))
+		}
+		if _, err := finitelb.NewSystem(*n, *d, *rho); err != nil {
+			fatalUsage(err)
+		}
 		if err := accuracy(*n, *d, *rho, *tmax); err != nil {
 			fatal(err)
 		}
 	case "stability":
+		if *tmax < 1 {
+			fatalUsage(fmt.Errorf("-tmax %d must be ≥ 1", *tmax))
+		}
 		if err := stability(*n, *d, *tmax, *workers); err != nil {
 			fatal(err)
 		}
 	case "tails":
+		if _, err := finitelb.NewSystem(*n, *d, *rho); err != nil {
+			fatalUsage(err)
+		}
 		if err := tails(*n, *d, *rho); err != nil {
 			fatal(err)
 		}
@@ -82,12 +95,38 @@ func main() {
 		if cfg.rhos == "" {
 			cfg.rhos = strconv.FormatFloat(*rho, 'g', -1, 64)
 		}
+		// simSweep front-loads all spec validation, so an error here is
+		// overwhelmingly a malformed flag — show the grammar with it.
 		if err := simSweep(os.Stdout, cfg); err != nil {
-			fatal(err)
+			fatalUsage(err)
 		}
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		fatalUsage(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: sweep -mode <accuracy|stability|tails|sim> [flags]
+
+Explores the paper's trade-offs and, in sim mode, the pluggable
+workload/policy grid beyond the analytic models' reach.
+
+  sweep -mode accuracy -n 3 -d 2 -rho 0.8 -tmax 6
+  sweep -mode stability -n 3 -d 2 -tmax 5
+  sweep -mode tails -n 3 -d 2 -rho 0.9
+  sweep -mode sim -n 10 -d 2 -rhos 0.7,0.9 -policies sqd,jsq,jiq,rr,random \
+        -arrival hyperexp:cv2=4 -service pareto:alpha=1.5 -jobs 1e6
+
+Spec grammar (sim mode):
+  -policies   comma list of: sqd[:D] | jsq | jiq | lwl | rr | random
+  -arrival    poisson | deterministic | erlang:K | hyperexp:CV2
+  -service    exponential | deterministic | erlang:K | pareto:ALPHA[,h=H]
+  -speeds     COUNTxFACTOR[,COUNTxFACTOR...], e.g. 1x8,4x2 (empty = homogeneous)
+  -rhos       comma list of utilizations in (0,1)
+
+Flags:
+`)
+	flag.PrintDefaults()
 }
 
 // simCfg is the sim-mode grid: every policy at every utilization, one
@@ -320,7 +359,17 @@ func stability(n, d, tmax, workers int) error {
 	return nil
 }
 
+// fatal reports a runtime failure (a solver or engine breakdown) without
+// usage noise.
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a bad flag or spec with the grammar and exits 2,
+// matching the flag package's own exit code for undefined flags.
+func fatalUsage(err error) {
+	fmt.Fprintf(os.Stderr, "sweep: %v\n\n", err)
+	usage()
+	os.Exit(2)
 }

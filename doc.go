@@ -236,4 +236,48 @@
 // the bit-pinned rng draws, the statistics accumulators, and one
 // genuinely unpredictable arrival-vs-departure branch per event — with
 // the tracker down to ~15% of event time.
+//
+// # Machine-checked invariants
+//
+// The properties the headline results rest on are encoded as static
+// analyzers in internal/lint and enforced by cmd/finitelint, a
+// multichecker that speaks the go vet protocol:
+//
+//	go build -o "$(go env GOPATH)/bin/finitelint" ./cmd/finitelint
+//	go vet -vettool=$(which finitelint) ./...
+//	go run ./cmd/finitelint ./...        # same thing, self-driving
+//	./scripts/lint.sh                    # the full CI lint gate
+//
+// The suite (each analyzer carries fixture-backed tests under
+// internal/lint/testdata):
+//
+//   - detrand — deterministic packages (the analytic models, the
+//     simulator and its support packages) must not call global math/rand
+//     or math/rand/v2 functions; randomness flows from internal/frand or
+//     an explicitly seeded source passed as a parameter. Bit-identity
+//     goldens are only as reproducible as their weakest draw.
+//   - walltime — the same packages must not read the wall clock
+//     (time.Now, time.Since, timers); model code runs on simulated time
+//     only. internal/lb and cmd/ are live and exempt.
+//   - hotpath — functions annotated //finitelb:hotpath (the typed event
+//     loops, completion trackers, min-index pick paths, and the live
+//     dispatch path) must avoid alloc-causing constructs: fmt/reflect/
+//     errors calls, capturing closures, append, string concatenation,
+//     and value-to-interface boxing. This is the source-level face of
+//     the 0 allocs/event guarantee TestAllocFreeEventPath measures; a
+//     meta-test (internal/lint/meta_test.go) pins that the annotated
+//     set covers the functions the alloc test guards.
+//   - atomicfield — a variable accessed through sync/atomic anywhere
+//     must be accessed through sync/atomic everywhere in the package;
+//     no mixed atomic/plain access to shared state.
+//   - errret — cmd/ binaries must not silently discard error returns
+//     from io, bufio, flag, os, or encoding/* calls.
+//
+// Directive grammar: //finitelb:hotpath goes in (or directly above) the
+// doc comment of a function or on the line before a func literal, and
+// marks it hot for the hotpath analyzer. //lint:allow <analyzer>
+// <reason> on a finding's line (or the line above) suppresses that one
+// finding; the reason is mandatory — an allow with an empty reason is
+// itself a finding, and so is a stale allow that no longer matches
+// anything.
 package finitelb

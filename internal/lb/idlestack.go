@@ -27,6 +27,7 @@ func newIdleStack(n int) *idleStack {
 }
 
 // push adds server id to the stack top.
+//finitelb:hotpath
 func (st *idleStack) push(id int) {
 	for {
 		h := st.head.Load()
@@ -39,6 +40,7 @@ func (st *idleStack) push(id int) {
 }
 
 // tryPop removes and returns the most recently pushed server id.
+//finitelb:hotpath
 func (st *idleStack) tryPop() (int, bool) {
 	for {
 		h := st.head.Load()

@@ -190,11 +190,13 @@ type qview struct {
 }
 
 func (q *qview) N() int        { return q.lb.n }
+//finitelb:hotpath
 func (q *qview) Len(i int) int { return int(q.lb.slots[i].qlen.Load()) }
 
 // Work implements workload.WorkQueues: the server's time-to-drain in
 // service-time units — queued (not yet started) work divided by the
 // server's speed, plus the in-service wall-clock remainder.
+//finitelb:hotpath
 func (q *qview) Work(i int) float64 {
 	s := &q.lb.slots[i]
 	w := float64(s.pending.Load()) / q.lb.speeds[i]
@@ -208,6 +210,7 @@ func (q *qview) Work(i int) float64 {
 
 // ArgminLen implements workload.ArgminQueues when the length index is on:
 // a uniformly-tie-broken shortest queue in O(log N) tree reads.
+//finitelb:hotpath
 func (q *qview) ArgminLen(rng *rand.Rand) (int, bool) {
 	if t := q.lb.lenTree; t != nil {
 		return t.Argmin(rng), true
@@ -222,6 +225,7 @@ func (q *qview) ArgminLen(rng *rand.Rand) (int, bool) {
 // busy server by at most the elapsed part of its in-service job; both
 // orderings agree whenever backlogs differ by at least one job, which is
 // when LWL's choice matters.
+//finitelb:hotpath
 func (q *qview) ArgminWork(rng *rand.Rand) (int, bool) {
 	if t := q.lb.workTree; t != nil {
 		return t.Argmin(rng), true
@@ -368,6 +372,7 @@ func (lb *LB) Do(ctx context.Context, work float64) (Done, error) {
 	}
 }
 
+//finitelb:hotpath
 func (lb *LB) submit(work float64, done chan<- Done, counted *atomic.Int64) (int, error) {
 	return lb.submitAt(time.Now(), work, done, counted)
 }
@@ -375,8 +380,10 @@ func (lb *LB) submit(work float64, done chan<- Done, counted *atomic.Int64) (int
 // submitAt is submit with the arrival stamp supplied by the caller: the
 // load generator's burst path drains several overdue arrivals per sleeper
 // wake-up and stamps the whole burst with one clock read.
+//finitelb:hotpath
 func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counted *atomic.Int64) (int, error) {
 	if !(work > 0) || work > 1e9 {
+		//lint:allow hotpath rejected-input error exit; never taken on the accept path
 		return -1, fmt.Errorf("lb: job work %v outside (0, 1e9]", work)
 	}
 	if lb.closed.Load() {
@@ -413,6 +420,7 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 // and update every ledger and index. ok = false means the picked
 // server's queue was full; the rejection is counted and nothing needs
 // unwinding. The caller owns the channel send.
+//finitelb:hotpath
 func (lb *LB) admit(d *dispatcher, arrival time.Time, work float64, done chan<- Done, counted *atomic.Int64) (job, int, bool) {
 	var target int
 	if lb.jiq {
@@ -470,6 +478,7 @@ type burstScratch struct {
 // unbatched generator; per-job admission is unchanged (full queues
 // reject individual jobs, counted by the farm). It returns the number of
 // jobs accepted.
+//finitelb:hotpath
 func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.Int64, sc *burstScratch) (int, error) {
 	if len(works) == 0 {
 		return 0, nil
@@ -488,6 +497,7 @@ func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.In
 	// already staged for earlier jobs.
 	for _, work := range works {
 		if !(work > 0) || work > 1e9 {
+			//lint:allow hotpath rejected-input error exit; never taken on the accept path
 			return 0, fmt.Errorf("lb: job work %v outside (0, 1e9]", work)
 		}
 	}
@@ -500,7 +510,9 @@ func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.In
 	sc.targets = sc.targets[:0]
 	for _, work := range works {
 		if j, target, ok := lb.admit(d, arrival, work, nil, counted); ok {
+			//lint:allow hotpath scratch capacity is Batch-sized at construction; appends never grow it
 			sc.jobs = append(sc.jobs, j)
+			//lint:allow hotpath scratch capacity is Batch-sized at construction; appends never grow it
 			sc.targets = append(sc.targets, int32(target))
 		}
 	}
@@ -528,9 +540,11 @@ func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.In
 			continue
 		}
 		buf := batchPool.Get().(*[]job)
+		//lint:allow hotpath pooled buffer reaches Batch capacity after warmup and stops growing
 		*buf = append(*buf, sc.jobs[i])
 		for j := i + 1; j < len(sc.targets); j++ {
 			if sc.targets[j] == t {
+				//lint:allow hotpath pooled buffer reaches Batch capacity after warmup and stops growing
 				*buf = append(*buf, sc.jobs[j])
 				sc.targets[j] = -1
 			}

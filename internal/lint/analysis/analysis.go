@@ -1,0 +1,58 @@
+// Package analysis is a self-contained, standard-library-only subset of
+// golang.org/x/tools/go/analysis — just enough framework for the
+// repository's own invariant checkers (package finitelb/internal/lint).
+//
+// The repository builds offline against a bare module cache, so the real
+// x/tools module cannot be a dependency; this shim mirrors its core API
+// (Analyzer, Pass, Diagnostic, Pass.Reportf) so the analyzers read like —
+// and could be mechanically ported to — ordinary x/tools passes the day
+// the dependency becomes available. Facts, require-graphs, and result
+// propagation are deliberately absent: every finitelint analyzer is
+// single-package by design.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name (the suppression
+// directives key on it), a doc string, and the per-package Run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Path is the import path the driver wants predicates to match
+	// against. It is Pkg.Path() with driver-specific decoration removed
+	// (go vet names test variants "pkg [pkg.test]"; analysistest names
+	// fixtures by their testdata-relative directory).
+	Path string
+
+	// Report receives every diagnostic. Drivers install it; analyzers
+	// call Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver layer
+// attaches the analyzer name when rendering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

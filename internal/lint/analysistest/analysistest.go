@@ -1,0 +1,199 @@
+// Package analysistest is a standard-library-only re-derivation of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over
+// fixture packages under testdata/src and checks the reported
+// diagnostics against `// want` comments in the fixtures.
+//
+// Expectation grammar (a subset of the x/tools one): a comment
+//
+//	// want "rx" "rx2"
+//
+// on any line declares that the analyzer must report, on that line,
+// one diagnostic matching each quoted regular expression. Diagnostics
+// with no matching want, and wants with no matching diagnostic, fail
+// the test. Suppression directives (//lint:allow) are applied before
+// matching, so fixtures can exercise the allow machinery itself.
+//
+// Fixture packages are type-checked with the "source" importer, so they
+// may import anything in the standard library but not other modules.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"finitelb/internal/lint"
+	"finitelb/internal/lint/analysis"
+)
+
+// TestData returns the caller's testdata directory as an absolute path.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: no caller information")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run loads each fixture package dir/src/<path>, runs the analyzer, and
+// matches diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, dir, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(pkgDir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s", pkgDir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	diags, err := lint.RunAnalyzer(a, fset, files, path, pkg, info)
+	if err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	match(t, fset, files, diags)
+}
+
+// want is one expectation: a compiled regexp at a file line.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// wantRE accepts both comment forms: `// want "rx"` and, for lines whose
+// line comment is a lint directive under test, `/* want "rx" */` placed
+// before it.
+var wantRE = regexp.MustCompile(`^(?://|/\*)\s*want\s+(.*)$`)
+
+// parseWants extracts the expectations from every comment in the files.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(strings.TrimSpace(strings.TrimSuffix(c.Text, "*/")))
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					quote := rest[0]
+					if quote != '"' && quote != '`' {
+						t.Fatalf("%s: malformed want clause %q", pos, rest)
+					}
+					end := 1
+					for end < len(rest) && (rest[end] != quote || (quote == '"' && rest[end-1] == '\\')) {
+						end++
+					}
+					if end == len(rest) {
+						t.Fatalf("%s: unterminated want pattern %q", pos, rest)
+					}
+					lit := rest[:end+1]
+					rest = strings.TrimSpace(rest[end+1:])
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// match pairs diagnostics with wants line by line.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// WriteFiles materializes a file map into a temporary testdata-shaped
+// tree and returns its root — for fixtures better expressed inline (the
+// x/tools facility of the same name).
+func WriteFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		full := filepath.Join(dir, "src", filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"finitelb/internal/lint/analysis"
+)
+
+// AtomicFieldAnalyzer (atomicfield) enforces atomic discipline on plain
+// variables driven through the sync/atomic functions: a struct field or
+// variable that is the target of atomic.Load/Store/Add/Swap/
+// CompareAndSwap anywhere in the package must be accessed through
+// sync/atomic everywhere in the package. One plain read of the slot
+// table, the idle-stack head, or a version tag is a data race the memory
+// model gives no meaning to — and the kind that survives every test until
+// a weakly-ordered machine runs it.
+//
+// Sanctioned accesses are exactly the &x operands of sync/atomic calls.
+// Composite-literal keys (pre-publication initialization) are exempt.
+// Fields of the typed atomic.Int64-style wrappers are outside this
+// analyzer's scope: the type system already makes their plain use
+// impossible, and go vet's copylocks catches moves.
+var AtomicFieldAnalyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "variables accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+// atomicOpPrefixes match the sync/atomic package-level functions that
+// take an address: LoadInt64, StoreUint32, AddInt32, SwapPointer,
+// CompareAndSwapUint64, ...
+var atomicOpPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicOp(obj types.Object) bool {
+	if pkgPathOf(obj) != "sync/atomic" {
+		return false
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return false
+	}
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(obj.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicField(pass *analysis.Pass) error {
+	// Pass 1: collect the atomically-driven variables, the identifier
+	// occurrences sanctioned by being the &x of an atomic call, and the
+	// composite-literal keys (initialization, not access).
+	atomicAt := make(map[*types.Var]token.Pos) // var -> first atomic use
+	sanctioned := make(map[*ast.Ident]bool)
+	litKeys := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							litKeys[id] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !isAtomicOp(pass.TypesInfo.Uses[sel.Sel]) {
+					return true
+				}
+				if len(n.Args) == 0 {
+					return true
+				}
+				addr, ok := ast.Unparen(n.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				id, v := targetVar(pass, addr.X)
+				if v == nil {
+					return true
+				}
+				if _, seen := atomicAt[v]; !seen {
+					atomicAt[v] = sel.Pos()
+				}
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those variables is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] || litKeys[id] {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			first, isAtomic := atomicAt[v]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %s, which is accessed with sync/atomic (first at %s); mixed access races",
+				v.Name(), pass.Fset.Position(first))
+			return true
+		})
+	}
+	return nil
+}
+
+// targetVar resolves the operand of an atomic &x to its variable: a
+// struct field selector or a plain identifier (package-level or local).
+// Index expressions (&arr[i]) resolve to the array variable only when it
+// is a plain identifier — per-element tracking is out of scope.
+func targetVar(pass *analysis.Pass, x ast.Expr) (*ast.Ident, *types.Var) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return x.Sel, v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return x, v
+		}
+	}
+	return nil, nil
+}

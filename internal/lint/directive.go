@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"finitelb/internal/lint/analysis"
+)
+
+// This file implements the two comment directives the suite understands:
+//
+//	//finitelb:hotpath
+//	    On the doc comment of a function or method (or the line directly
+//	    above a function literal): the function body is a hot path and the
+//	    hotpath analyzer flags alloc-causing constructs inside it,
+//	    including nested closures.
+//
+//	//lint:allow <analyzer> <reason>
+//	    On the flagged line (or the line directly above it): suppresses
+//	    that analyzer's diagnostics on the line. The reason is mandatory —
+//	    an allow without one does not suppress and is itself reported, so
+//	    every suppression in the tree documents why it is sound.
+//
+// Both follow the Go directive convention: no space after //, recognized
+// anywhere a comment is syntactically attached near the construct.
+
+const (
+	hotpathDirective = "//finitelb:hotpath"
+	allowDirective   = "//lint:allow"
+)
+
+// allow is one parsed //lint:allow directive.
+type allow struct {
+	file     string // filename
+	line     int    // line the directive sits on
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// parseAllow splits an allow directive comment into analyzer and reason.
+// ok is false when the comment is not an allow directive at all.
+func parseAllow(text string) (analyzer, reason string, ok bool) {
+	if !strings.HasPrefix(text, allowDirective) {
+		return "", "", false
+	}
+	rest := text[len(allowDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false // e.g. //lint:allowances — not ours
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true // malformed: no analyzer, no reason
+	}
+	return fields[0], strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])), true
+}
+
+// collectAllows scans every comment in the files for allow directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allow {
+	var out []*allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				an, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, &allow{file: p.Filename, line: p.Line, analyzer: an, reason: reason, pos: c.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// suppress filters diags through the files' //lint:allow directives for
+// the named analyzer. A directive suppresses diagnostics on its own line
+// and on the line directly below (the "directive above the statement"
+// form). Directives with an empty reason suppress nothing and are
+// reported; so are allow directives for this analyzer that match no
+// diagnostic (a stale suppression is a lie about the code).
+func suppress(fset *token.FileSet, files []*ast.File, analyzerName string, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	allows := collectAllows(fset, files)
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		kept := true
+		for _, a := range allows {
+			if a.analyzer != analyzerName || a.file != p.Filename {
+				continue
+			}
+			if a.line != p.Line && a.line != p.Line-1 {
+				continue
+			}
+			a.used = true
+			if a.reason == "" {
+				continue // reported below; the finding stands
+			}
+			kept = false
+		}
+		if kept {
+			out = append(out, d)
+		}
+	}
+	for _, a := range allows {
+		if a.analyzer != analyzerName {
+			continue
+		}
+		if a.reason == "" {
+			out = append(out, analysis.Diagnostic{Pos: a.pos,
+				Message: "lint:allow " + analyzerName + " needs a non-empty reason"})
+		} else if !a.used {
+			out = append(out, analysis.Diagnostic{Pos: a.pos,
+				Message: "lint:allow " + analyzerName + " matches no diagnostic; remove it"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// hotpathLines returns the set of lines (per file of the pass) holding a
+// //finitelb:hotpath directive.
+func hotpathLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// isHotFunc reports whether a FuncDecl carries the hotpath directive:
+// inside its doc comment group, or on the line directly above the func
+// keyword (a detached directive still binds to the declaration).
+func isHotFunc(fset *token.FileSet, lines map[int]bool, d *ast.FuncDecl) bool {
+	if d.Doc != nil {
+		for _, c := range d.Doc.List {
+			if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+				return true
+			}
+		}
+	}
+	return lines[fset.Position(d.Pos()).Line-1]
+}
+
+// isHotLit reports whether a function literal carries the directive on
+// the line directly above it (closures have no doc comment to hang it
+// on) or earlier on its own line.
+func isHotLit(fset *token.FileSet, lines map[int]bool, lit *ast.FuncLit) bool {
+	line := fset.Position(lit.Pos()).Line
+	return lines[line-1] || lines[line]
+}

@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"finitelb/internal/lint/analysis"
+)
+
+// HotPathAnalyzer (hotpath) checks functions annotated //finitelb:hotpath
+// for alloc-causing constructs. The annotated set — the typed event
+// loops, the completion trackers, the min-index pick paths, and the live
+// dispatch path — carries the repository's 0 allocs/event guarantee;
+// TestAllocFreeEventPath measures it end to end, this analyzer points at
+// the exact line that would break it, before a benchmark ever runs.
+//
+// Flagged inside a hot function (and its nested closures, which inherit
+// the annotation):
+//
+//   - calls into fmt, reflect, or errors (formatting and boxing);
+//   - closures that capture variables (the closure object escapes);
+//   - append (amortized growth is still an allocation on the path);
+//   - string concatenation;
+//   - concrete-to-interface conversions of non-pointer-shaped values
+//     (boxing) — at explicit conversions, call arguments, assignments,
+//     returns, channel sends, and composite-literal fields.
+//
+// Pointer-shaped values (pointers, channels, maps, funcs) convert to
+// interfaces without boxing and are not flagged. Cold error paths inside
+// an annotated function are suppressed case by case with //lint:allow
+// hotpath <reason>.
+var HotPathAnalyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "flag alloc-causing constructs in //finitelb:hotpath functions",
+	Run:  runHotPath,
+}
+
+// allocPkgs are the call targets banned outright on a hot path.
+var allocPkgs = map[string]bool{"fmt": true, "reflect": true, "errors": true}
+
+func runHotPath(pass *analysis.Pass) error {
+	c := &hotChecker{pass: pass}
+	for _, f := range pass.Files {
+		lines := hotpathLines(pass.Fset, f)
+		if len(lines) == 0 {
+			continue
+		}
+		// Hot roots: annotated declarations, plus annotated literals that
+		// are not already inside one (those are walked by their root).
+		var roots []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && isHotFunc(pass.Fset, lines, n) {
+					roots = append(roots, n)
+					return false
+				}
+			case *ast.FuncLit:
+				if isHotLit(pass.Fset, lines, n) {
+					roots = append(roots, n)
+					return false
+				}
+			}
+			return true
+		})
+		for _, root := range roots {
+			switch n := root.(type) {
+			case *ast.FuncDecl:
+				c.walkBody(n.Body, declSignature(pass, n))
+			case *ast.FuncLit:
+				c.walkBody(n.Body, litSignature(pass, n))
+			}
+		}
+	}
+	return nil
+}
+
+type hotChecker struct {
+	pass *analysis.Pass
+}
+
+// declSignature resolves a declared function to its checked signature.
+// The FuncType node of a declaration is not in the Types map — only the
+// defining identifier carries the signature, via Defs.
+func declSignature(pass *analysis.Pass, d *ast.FuncDecl) *types.Signature {
+	if fn, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// litSignature resolves a function literal (an expression, so it is in
+// the Types map) to its signature.
+func litSignature(pass *analysis.Pass, lit *ast.FuncLit) *types.Signature {
+	if sig, ok := pass.TypesInfo.TypeOf(lit).(*types.Signature); ok {
+		return sig
+	}
+	return nil
+}
+
+// walkBody checks one function body; sig is that function's signature
+// (for return-statement conversion checks). Nested closures are flagged
+// if they capture, then walked with their own signature — hot scope is
+// inherited all the way down.
+func (c *hotChecker) walkBody(body *ast.BlockStmt, sig *types.Signature) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkClosure(n)
+			c.walkBody(n.Body, litSignature(c.pass, n))
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ValueSpec:
+			c.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n, sig)
+		case *ast.SendStmt:
+			if t := c.pass.TypesInfo.TypeOf(n.Chan); t != nil {
+				if ch, ok := t.Underlying().(*types.Chan); ok {
+					c.checkConv(n.Value, ch.Elem())
+				}
+			}
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		case *ast.BinaryExpr:
+			c.checkConcat(n)
+		}
+		return true
+	})
+}
+
+// checkClosure flags a nested closure that captures variables: the
+// closure object (and its captured frame) escapes to the heap the moment
+// it is passed or stored. Capture-free literals compile to static
+// functions and pass.
+func (c *hotChecker) checkClosure(lit *ast.FuncLit) {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe {
+			return true
+		}
+		if c.pass.Pkg != nil && v.Parent() == c.pass.Pkg.Scope() {
+			return true // package-level state is not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v
+		}
+		return true
+	})
+	if captured != nil {
+		c.pass.Reportf(lit.Pos(), "closure on hot path captures %q and escapes; hoist the state or pass it as a parameter", captured.Name())
+	}
+}
+
+// checkCall handles conversions written as calls, banned-package calls,
+// append, and concrete-to-interface argument passing.
+func (c *hotChecker) checkCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	tv, ok := c.pass.TypesInfo.Types[fun]
+	if ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 {
+			c.checkConv(call.Args[0], tv.Type)
+		}
+		return
+	}
+	if ok && tv.IsBuiltin() {
+		if name, _ := builtinName(fun); name == "append" {
+			c.pass.Reportf(call.Pos(), "append on hot path may grow the backing array; preallocate capacity outside the loop")
+		}
+		return
+	}
+	// Banned package call?
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fn.Sel]
+	}
+	if path := pkgPathOf(obj); allocPkgs[path] {
+		c.pass.Reportf(call.Pos(), "call to %s.%s on hot path allocates", path, obj.Name())
+		return
+	}
+	// Concrete-to-interface boxing at the call boundary.
+	sig, ok := c.pass.TypesInfo.TypeOf(fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var want types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // spread: no per-element conversion
+			}
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				want = s.Elem()
+			}
+		case i < params.Len():
+			want = params.At(i).Type()
+		}
+		c.checkConv(arg, want)
+	}
+}
+
+func builtinName(fun ast.Expr) (string, bool) {
+	if id, ok := fun.(*ast.Ident); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+func (c *hotChecker) checkAssign(a *ast.AssignStmt) {
+	if a.Tok == token.ADD_ASSIGN {
+		if t := c.pass.TypesInfo.TypeOf(a.Lhs[0]); t != nil && isString(t) {
+			c.pass.Reportf(a.Pos(), "string concatenation on hot path allocates")
+		}
+		return
+	}
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, rhs := range a.Rhs {
+		c.checkConv(rhs, c.pass.TypesInfo.TypeOf(a.Lhs[i]))
+	}
+}
+
+func (c *hotChecker) checkValueSpec(s *ast.ValueSpec) {
+	if s.Type == nil {
+		return
+	}
+	want := c.pass.TypesInfo.TypeOf(s.Type)
+	for _, v := range s.Values {
+		c.checkConv(v, want)
+	}
+}
+
+func (c *hotChecker) checkReturn(r *ast.ReturnStmt, sig *types.Signature) {
+	if sig == nil || sig.Results().Len() != len(r.Results) {
+		return
+	}
+	for i, res := range r.Results {
+		c.checkConv(res, sig.Results().At(i).Type())
+	}
+}
+
+func (c *hotChecker) checkComposite(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if f, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+						c.checkConv(kv.Value, f.Type())
+					}
+				}
+				continue
+			}
+			if i < u.NumFields() {
+				c.checkConv(elt, u.Field(i).Type())
+			}
+		}
+	case *types.Slice:
+		for _, elt := range lit.Elts {
+			c.checkConv(valueOf(elt), u.Elem())
+		}
+	case *types.Array:
+		for _, elt := range lit.Elts {
+			c.checkConv(valueOf(elt), u.Elem())
+		}
+	}
+}
+
+// valueOf unwraps an indexed composite element ([3]T{1: x}).
+func valueOf(elt ast.Expr) ast.Expr {
+	if kv, ok := elt.(*ast.KeyValueExpr); ok {
+		return kv.Value
+	}
+	return elt
+}
+
+func (c *hotChecker) checkConcat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[b]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if tv.Type != nil && isString(tv.Type) {
+		c.pass.Reportf(b.OpPos, "string concatenation on hot path allocates")
+	}
+}
+
+// checkConv reports expr if assigning it to type want boxes a value: the
+// destination is an interface, the source is a concrete non-pointer-
+// shaped type. Pointer-shaped values (pointers, channels, maps, funcs)
+// fit the interface data word directly.
+func (c *hotChecker) checkConv(expr ast.Expr, want types.Type) {
+	if expr == nil || want == nil {
+		return
+	}
+	if _, isParam := want.(*types.TypeParam); isParam {
+		return
+	}
+	if !types.IsInterface(want) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if _, isParam := from.(*types.TypeParam); isParam {
+		return
+	}
+	if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if types.IsInterface(from) || pointerShaped(from) {
+		return
+	}
+	c.pass.Reportf(expr.Pos(), "%s-to-%s conversion on hot path boxes the value", from, want)
+}
+
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,143 @@
+// Package lint is finitelint: a suite of static analyzers encoding the
+// repository's load-bearing invariants — the ones the headline results
+// rest on but ordinary tests only spot-check:
+//
+//   - detrand: deterministic packages draw randomness from
+//     internal/frand or an explicitly seeded source threaded as a
+//     parameter, never from the global math/rand state.
+//   - walltime: deterministic packages never read the wall clock; the
+//     simulator's bit-identity goldens assume simulated time only.
+//   - hotpath: functions annotated //finitelb:hotpath stay free of
+//     alloc-causing constructs — the 0 allocs/event guarantee of the
+//     typed event loops and the live dispatch path, checked at the
+//     source level instead of only by TestAllocFreeEventPath.
+//   - atomicfield: a variable accessed through sync/atomic anywhere is
+//     accessed through sync/atomic everywhere — no mixed atomic/plain
+//     reads of the slot table, idle stack, or version tags.
+//   - errret: cmd/ packages do not silently discard error returns from
+//     io, flag, bufio, or encoding calls.
+//
+// Suppressions are explicit and documented: //lint:allow <analyzer>
+// <reason>, where the non-empty reason is machine-enforced. See doc.go
+// "Machine-checked invariants" at the repository root for the directive
+// grammar and how to run the suite.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"finitelb/internal/lint/analysis"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DetRandAnalyzer,
+		WallTimeAnalyzer,
+		HotPathAnalyzer,
+		AtomicFieldAnalyzer,
+		ErrRetAnalyzer,
+	}
+}
+
+// deterministicPkgs are the packages whose results must be a pure
+// function of their seeds: the analytic models, the simulator and its
+// support packages. internal/lb and the cmd/ binaries are live — they
+// are *supposed* to read clocks and may use ambient randomness.
+var deterministicPkgs = map[string]bool{
+	"finitelb":                     true,
+	"finitelb/internal/asym":       true,
+	"finitelb/internal/embedded":   true,
+	"finitelb/internal/engine":     true,
+	"finitelb/internal/figures":    true,
+	"finitelb/internal/frand":      true,
+	"finitelb/internal/markov":     true,
+	"finitelb/internal/mat":        true,
+	"finitelb/internal/minindex":   true,
+	"finitelb/internal/qbd":        true,
+	"finitelb/internal/sim":        true,
+	"finitelb/internal/sqd":        true,
+	"finitelb/internal/statespace": true,
+	"finitelb/internal/stats":      true,
+	"finitelb/internal/workload":   true,
+}
+
+// normalizePath strips driver decoration from an import path: go vet
+// names test variants "pkg [pkg.test]" and external test packages
+// "pkg_test [pkg.test]"; analysistest fixtures reuse real package paths
+// under testdata. The determinism invariants bind test files too — a
+// wall-clock read in a golden test breaks reproducibility just as surely.
+func normalizePath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, ".test")
+	path = strings.TrimSuffix(path, "_test")
+	return path
+}
+
+// isDeterministic reports whether the pass's package carries the
+// determinism invariants.
+func isDeterministic(path string) bool {
+	return deterministicPkgs[normalizePath(path)]
+}
+
+// isCmd reports whether the pass's package is one of the repository's
+// binaries (or a fixture standing in for one).
+func isCmd(path string) bool {
+	path = normalizePath(path)
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
+// RunAnalyzer runs one analyzer over a type-checked package and returns
+// its diagnostics with //lint:allow suppression applied.
+func RunAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, path string, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Path:      path,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return suppress(fset, files, a.Name, diags), nil
+}
+
+// Finding is one rendered diagnostic from a full-suite run.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run runs the whole suite over one package.
+func Run(fset *token.FileSet, files []*ast.File, path string, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	var out []Finding
+	for _, a := range Analyzers() {
+		diags, err := RunAnalyzer(a, fset, files, path, pkg, info)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			out = append(out, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+	}
+	return out, nil
+}
+
+// pkgPathOf returns the import path of the package a selector or
+// identifier's object comes from, or "" for local/universe objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"testing"
+
+	"finitelb/internal/lint"
+	"finitelb/internal/lint/analysistest"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.DetRandAnalyzer,
+		"finitelb/internal/sim", "finitelb/internal/lb")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.WallTimeAnalyzer,
+		"finitelb/internal/engine", "finitelb/internal/lb")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.HotPathAnalyzer, "hot")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.AtomicFieldAnalyzer, "atom")
+}
+
+func TestErrRet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.ErrRetAnalyzer,
+		"cmd/app", "lib")
+}
+
+// TestWallTimeAppliesToTestFiles pins the choice that the determinism
+// invariants bind _test.go files of deterministic packages too: the
+// bit-identity goldens are themselves tests, and a clock read inside one
+// is exactly as damaging as one in the library.
+func TestWallTimeAppliesToTestFiles(t *testing.T) {
+	dir := analysistest.WriteFiles(t, map[string]string{
+		"finitelb/internal/qbd/qbd.go": `package qbd
+
+func Solve() int { return 1 }
+`,
+		"finitelb/internal/qbd/qbd_timing.go": `package qbd
+
+import "time"
+
+func timedSolve() (int, time.Duration) {
+	start := time.Now() // want "time.Now in deterministic package"
+	v := Solve()
+	return v, time.Since(start) // want "time.Since in deterministic package"
+}
+`,
+	})
+	analysistest.Run(t, dir, lint.WallTimeAnalyzer, "finitelb/internal/qbd")
+}

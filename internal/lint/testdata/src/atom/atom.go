@@ -1,0 +1,49 @@
+// Fixture: atomicfield — variables driven through sync/atomic must be
+// accessed atomically everywhere in the package.
+package atom
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64 // atomic everywhere
+	cold int64 // never atomic: plain access is fine
+}
+
+var global uint32
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreUint32(&global, 7)
+}
+
+func swap(c *counters) int64 {
+	return atomic.SwapInt64(&c.hits, 0)
+}
+
+func read(c *counters) int64 {
+	if atomic.LoadInt64(&c.hits) > 10 {
+		return 0
+	}
+	return c.hits // want "plain access to hits"
+}
+
+func mixed(c *counters) {
+	c.hits = 0 // want "plain access to hits"
+	c.cold++
+	g := global // want "plain access to global"
+	_ = g
+	p := &c.hits // want "plain access to hits"
+	_ = p
+}
+
+// fresh initializes through a composite literal before the value is
+// shared: initialization keys are exempt.
+func fresh() *counters {
+	return &counters{hits: 0, cold: 1}
+}
+
+// quiescent documents the one sanctioned plain read: after the workers
+// have joined, no concurrent writer exists.
+func quiescent(c *counters) int64 {
+	return c.hits //lint:allow atomicfield read at quiescence after workers joined
+}

@@ -1,0 +1,37 @@
+// Fixture: errret — a cmd/ package discarding errors from the io, flag,
+// bufio, os, and encoding families.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"strings"
+)
+
+func run(fs *flag.FlagSet, args []string, w io.Writer) {
+	fs.Parse(args)                  // want "error from flag.Parse silently discarded"
+	json.NewEncoder(w).Encode(args) // want "error from encoding/json.Encode silently discarded"
+	io.Copy(io.Discard, strings.NewReader("x")) // want "error from io.Copy silently discarded"
+	bw := bufio.NewWriter(w)
+	bw.Flush()           // want "error from bufio.Flush silently discarded"
+	w.Write([]byte("x")) // want "error from io.Write silently discarded"
+
+	f, err := os.Create(os.DevNull)
+	if err != nil {
+		return
+	}
+	defer f.Close() // defer is conventional teardown: no finding
+
+	_ = bw.Flush() // explicit discard: visible intent, no finding
+	if err := fs.Parse(args); err != nil { // checked: no finding
+		return
+	}
+	strings.NewReader("y").Len() // non-error return: no finding
+}
+
+func main() {
+	run(flag.NewFlagSet("app", flag.ContinueOnError), nil, io.Discard)
+}

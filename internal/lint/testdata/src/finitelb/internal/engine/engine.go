@@ -1,0 +1,28 @@
+// Fixture: a deterministic package exercising the walltime rules.
+package engine
+
+import "time"
+
+// clockReads couple results to the host scheduler: findings.
+func clockReads() time.Duration {
+	start := time.Now() // want "time.Now in deterministic package"
+	time.Sleep(time.Microsecond) // want "time.Sleep in deterministic package"
+	ch := time.After(time.Second) // want "time.After in deterministic package"
+	<-ch
+	return time.Since(start) // want "time.Since in deterministic package"
+}
+
+// durationMath is inert: no clock is read.
+func durationMath(d time.Duration) float64 {
+	return (d + time.Millisecond).Seconds()
+}
+
+// explicitInstants built from supplied values are fine too.
+func explicitInstants(sec int64) time.Time {
+	return time.Unix(sec, 0).Add(time.Minute)
+}
+
+// allowedTimer documents its exception.
+func allowedTimer() *time.Timer {
+	return time.NewTimer(0) //lint:allow walltime fixture demonstrating a documented suppression
+}

@@ -1,0 +1,13 @@
+// Fixture: internal/lb is a live package — ambient randomness and the
+// wall clock are its job, so neither detrand nor walltime fires here.
+package lb
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func liveOK() (float64, time.Time) {
+	time.Sleep(time.Millisecond)
+	return rand.Float64(), time.Now()
+}

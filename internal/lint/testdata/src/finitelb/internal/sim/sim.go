@@ -1,0 +1,43 @@
+// Fixture: a deterministic package (the path matches the real
+// internal/sim) exercising the detrand rules.
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// globalDraws hit the shared generator state: every one is a finding.
+func globalDraws() float64 {
+	n := rand.Intn(10)                 // want "global math/rand.Intn in deterministic package"
+	x := rand.Float64()                // want "global math/rand.Float64 in deterministic package"
+	rand.Shuffle(n, func(i, j int) {}) // want "global math/rand.Shuffle in deterministic package"
+	y := randv2.ExpFloat64()           // want "global math/rand/v2.ExpFloat64 in deterministic package"
+	z := randv2.N(int64(4))            // want "global math/rand/v2.N in deterministic package"
+	return x + y + float64(z)
+}
+
+// seeded sources threaded as values are the sanctioned pattern.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	r2 := randv2.New(randv2.NewPCG(uint64(seed), 7))
+	return r.Float64() + r2.Float64()
+}
+
+// allowed documents a justified exception and is suppressed.
+func allowed() int {
+	return rand.Int() //lint:allow detrand fixture demonstrating a documented suppression
+}
+
+// bareAllow: an allow without a reason suppresses nothing — the original
+// finding stands and the directive itself is reported.
+func bareAllow() int {
+	/* want "lint:allow detrand needs a non-empty reason" */ //lint:allow detrand
+	return rand.Int() // want "global math/rand.Int in deterministic package"
+}
+
+// staleAllow: an allow that no longer matches anything is a lie about
+// the code and is reported.
+func staleAllow() {
+	_ = seeded(1) /* want "lint:allow detrand matches no diagnostic" */ //lint:allow detrand left over after a refactor
+}

@@ -1,0 +1,124 @@
+// Fixture: the hotpath analyzer's alloc-causing constructs, positive and
+// negative, plus the directive edge cases (methods, generics, closures,
+// literals).
+package hot
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+)
+
+//finitelb:hotpath
+func hotFunc(xs []float64, name string) float64 {
+	s := fmt.Sprintf("x%s", name) // want "call to fmt.Sprintf on hot path allocates"
+	_ = s
+	err := errors.New("boom") // want "call to errors.New on hot path allocates"
+	_ = err
+	_ = reflect.TypeOf(name) // want "call to reflect.TypeOf on hot path allocates"
+	xs = append(xs, 1)       // want "append on hot path may grow the backing array"
+	msg := name + "!"        // want "string concatenation on hot path allocates"
+	msg += "?"               // want "string concatenation on hot path allocates"
+	_ = msg
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//finitelb:hotpath
+func hotClosures(n int) func() int {
+	k := 0
+	inc := func() int { k++; return k }      // want `closure on hot path captures "k"`
+	flat := func(a int) int { return a + 1 } // capture-free: compiles to a static func, no finding
+	_ = flat(inc())
+	// Nested closures inherit the hot scope: the inner fmt call is still
+	// a finding, and the capture of n is too.
+	outer := func() { // want `closure on hot path captures "n"`
+		_ = fmt.Sprint(n) // want "call to fmt.Sprint on hot path allocates"
+	}
+	outer()
+	return inc
+}
+
+type boxer interface{ Box() }
+
+type small struct{ v int }
+
+func (small) Box() {}
+
+func sink(x any)      {}
+func sinkV(xs ...any) {}
+
+//finitelb:hotpath
+func hotIface(s small, p *small, vals []any) {
+	var b boxer = s // want "conversion on hot path boxes the value"
+	_ = b
+	var bp boxer = p // pointer-shaped: fits the interface word, no finding
+	_ = bp
+	vals[0] = s.v // want "conversion on hot path boxes the value"
+	sink(s)       // want "conversion on hot path boxes the value"
+	sink(p)       // pointer: no finding
+	sinkV(1, 2)   // want "conversion on hot path boxes the value" "conversion on hot path boxes the value"
+	sinkV(vals...) // spread of existing interfaces: no finding
+}
+
+//finitelb:hotpath
+func hotReturn(v int) any {
+	return v // want "conversion on hot path boxes the value"
+}
+
+type payload struct{ x any }
+
+//finitelb:hotpath
+func hotComposite(v int, ch chan any) {
+	p := payload{x: v} // want "conversion on hot path boxes the value"
+	_ = p
+	ch <- v       // want "conversion on hot path boxes the value"
+	q := []any{v} // want "conversion on hot path boxes the value"
+	_ = q
+}
+
+type counter struct{ n int }
+
+// bump shows the directive inside a doc comment on a method.
+//
+//finitelb:hotpath
+func (c *counter) bump() {
+	_ = fmt.Sprint(c.n) // want "call to fmt.Sprint on hot path allocates"
+}
+
+// hotGeneric shows the directive on a generic (stenciled) function.
+//
+//finitelb:hotpath
+func hotGeneric[T any](items []T) int {
+	s := fmt.Sprintln(len(items)) // want "call to fmt.Sprintln on hot path allocates"
+	return len(s)
+}
+
+// coldOuter is not hot itself; the directive binds to the literal on the
+// next line only.
+func coldOuter() func() {
+	//finitelb:hotpath
+	return func() {
+		_ = fmt.Sprint(1) // want "call to fmt.Sprint on hot path allocates"
+	}
+}
+
+// coldPlain is unannotated: nothing fires.
+func coldPlain() {
+	_ = fmt.Sprint(2)
+	s := "a" + "b" // constant-folded anyway
+	_ = s
+}
+
+// hotAllowed documents a cold error exit inside a hot function.
+//
+//finitelb:hotpath
+func hotAllowed(err error) error {
+	if err != nil {
+		return fmt.Errorf("wrap: %w", err) //lint:allow hotpath cold error exit, not taken per event
+	}
+	return nil
+}

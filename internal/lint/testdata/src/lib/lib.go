@@ -1,0 +1,13 @@
+// Fixture: errret is scoped to cmd/ — the same discarded errors in a
+// library package are not findings (they are the caller's to handle and
+// the oracle tests would catch them).
+package lib
+
+import (
+	"io"
+	"strings"
+)
+
+func drain(w io.Writer) {
+	io.Copy(w, strings.NewReader("x"))
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"finitelb/internal/lint/analysis"
+)
+
+// WallTimeAnalyzer (walltime) forbids wall-clock reads and timers in
+// deterministic packages. Simulated time is the only clock the model and
+// simulator code may consult: a time.Now() or timer in internal/sim (or
+// any package it leans on) couples results to the host scheduler and
+// breaks the bit-identity goldens in ways no fixed seed can pin.
+// internal/lb and the cmd/ binaries are live systems and are exempt —
+// their whole point is wall-clock fidelity.
+var WallTimeAnalyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads and timers in deterministic packages",
+	Run:  runWallTime,
+}
+
+// wallFuncs are the package time functions that read the host clock or
+// arm host timers. Pure duration/format arithmetic (ParseDuration,
+// Duration.Seconds, Unix construction from explicit values) stays legal.
+var wallFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallTime(pass *analysis.Pass) error {
+	if !isDeterministic(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || pkgPathOf(obj) != "time" {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || !wallFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in deterministic package %s; model code runs on simulated time only",
+				fn.Name(), normalizePath(pass.Path))
+			return true
+		})
+	}
+	return nil
+}

@@ -65,6 +65,7 @@ func NewSeq(n int) *Seq {
 // math.Inf would also work, but a finite sentinel keeps comparisons exact.
 const padKeySeq = 1e308
 
+//finitelb:hotpath
 func (t *Seq) combine(j int) {
 	l, r := 2*j, 2*j+1
 	switch {
@@ -79,6 +80,7 @@ func (t *Seq) combine(j int) {
 
 // Update sets leaf i's key and repairs the path to the root, stopping
 // early once an ancestor's (min, count) is unchanged.
+//finitelb:hotpath
 func (t *Seq) Update(i int, key float64) {
 	j := t.base + i
 	if t.val[j] == key {
@@ -99,6 +101,7 @@ func (t *Seq) Min() float64 { return t.val[1] }
 
 // Argmin returns a uniformly chosen leaf among those holding the minimum
 // key, descending by tie counts.
+//finitelb:hotpath
 func (t *Seq) Argmin(rng *rand.Rand) int {
 	j := 1
 	for j < t.base {

@@ -76,14 +76,17 @@ func (t *calTracker) init(n int) {
 	}
 }
 
+//finitelb:hotpath
 func (t *calTracker) bucket(tb uint64) uint64 {
 	return uint64(int64(math.Float64frombits(tb)*t.invW)) & t.mask
 }
 
+//finitelb:hotpath
 func (t *calTracker) min() (float64, int) {
 	return math.Float64frombits(t.minK), int(t.minI)
 }
 
+//finitelb:hotpath
 func (t *calTracker) update(id int, tm float64) {
 	tb := math.Float64bits(tm)
 	old := t.keys[id]
@@ -127,6 +130,7 @@ func (t *calTracker) update(id int, tm float64) {
 // the old minimum's position. Every remaining key is ≥ the old minimum
 // (it was the minimum), so the first in-window bucket minimum is the
 // global one.
+//finitelb:hotpath
 func (t *calTracker) recompute(oldK uint64) {
 	if t.live == 0 {
 		t.minK, t.minI = infBits, -1

@@ -57,6 +57,7 @@ type loopState struct {
 }
 
 // flush drains the sojourn buffer into the stream.
+//finitelb:hotpath
 func (st *loopState) flush() {
 	if st.bufn > 0 {
 		st.res.AddBatch(st.buf[:st.bufn])
@@ -66,6 +67,7 @@ func (st *loopState) flush() {
 
 // workAt is farm.Work for the typed loop: server i's time-to-drain at the
 // current arrival instant.
+//finitelb:hotpath
 func (st *loopState) workAt(i int) float64 {
 	if st.qlen[i] == 0 {
 		return 0
@@ -79,6 +81,7 @@ func (st *loopState) workAt(i int) float64 {
 }
 
 // noteWork re-keys server i in the work index; same key as farm.note.
+//finitelb:hotpath
 func (st *loopState) noteWork(i int) {
 	if st.qlen[i] == 0 {
 		st.workTree.Update(i, 0)
@@ -223,6 +226,7 @@ func bindLoop[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker
 // built-in workload matrix is pinned by TestTypedLoopMatchesInterfaceLoop;
 // the same property for the default wiring is pinned against the captured
 // pre-workload goldens by TestDefaultWorkloadBitIdentical.
+//finitelb:hotpath
 func runTyped[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker, jobs int64) {
 	servers := st.servers
 	qlen := st.qlen
@@ -370,6 +374,7 @@ func runTyped[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker
 // "sqd-het" wirings pin it against the interface loop, and
 // TestDefaultWorkloadBitIdentical pins it against the pre-workload
 // goldens.
+//finitelb:hotpath
 func runDefault(st *loopState, lamN float64, pk *sqdPick, jobs int64) {
 	servers := st.servers
 	qlen := st.qlen

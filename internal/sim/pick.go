@@ -25,6 +25,7 @@ type sqdPick struct {
 	perm []int
 }
 
+//finitelb:hotpath
 func (pk *sqdPick) pick(st *loopState) int {
 	fr := st.fr
 	qlen := st.qlen
@@ -51,6 +52,7 @@ func (pk *sqdPick) pick(st *loopState) int {
 // reservoir tie-breaking.
 type jsqScanPick struct{}
 
+//finitelb:hotpath
 func (jsqScanPick) pick(st *loopState) int {
 	fr := st.fr
 	qlen := st.qlen
@@ -80,11 +82,13 @@ func (jsqScanPick) pick(st *loopState) int {
 // through the std wrapper over the same generator.
 type jsqTreePick struct{}
 
+//finitelb:hotpath
 func (jsqTreePick) pick(st *loopState) int { return st.lenTree.Argmin(st.std) }
 
 // lwlScanPick mirrors workload.LWL's reference scan over time-to-drain.
 type lwlScanPick struct{}
 
+//finitelb:hotpath
 func (lwlScanPick) pick(st *loopState) int {
 	fr := st.fr
 	n := len(st.qlen)
@@ -111,12 +115,14 @@ func (lwlScanPick) pick(st *loopState) int {
 // lwlTreePick mirrors workload.LWL through the maintained work index.
 type lwlTreePick struct{}
 
+//finitelb:hotpath
 func (lwlTreePick) pick(st *loopState) int { return st.workTree.Argmin(st.std) }
 
 // jiqPick mirrors workload.JIQ: reservoir over idle servers, uniform
 // fallback.
 type jiqPick struct{}
 
+//finitelb:hotpath
 func (jiqPick) pick(st *loopState) int {
 	fr := st.fr
 	qlen := st.qlen
@@ -139,6 +145,7 @@ func (jiqPick) pick(st *loopState) int {
 // rrPick mirrors workload.RoundRobin: a cursor, no draws.
 type rrPick struct{ n, next int }
 
+//finitelb:hotpath
 func (pk *rrPick) pick(*loopState) int {
 	i := pk.next
 	pk.next++
@@ -151,4 +158,5 @@ func (pk *rrPick) pick(*loopState) int {
 // randPick mirrors workload.Random: one uniform draw.
 type randPick struct{ n int }
 
+//finitelb:hotpath
 func (pk randPick) pick(st *loopState) int { return st.fr.IntN(pk.n) }

@@ -106,6 +106,7 @@ func newTrackerFor(n int, heavyTail bool) *tracker {
 // idle (all +Inf) the id is −1 (linear, calendar) or an arbitrary idle
 // leaf (tree modes); the event loop never reads the id in that case
 // because the next arrival always precedes +Inf.
+//finitelb:hotpath
 func (k *tracker) min() (float64, int) {
 	if k.tour != nil {
 		return k.tour.min()
@@ -125,6 +126,7 @@ func (k *tracker) min() (float64, int) {
 // update sets server id's pending completion time. t must be nonnegative
 // (it is an absolute event time) or +Inf; the bit-pattern key order
 // depends on it.
+//finitelb:hotpath
 func (k *tracker) update(id int, t float64) {
 	if k.tour != nil {
 		k.tour.update(id, t)
@@ -180,6 +182,7 @@ func newTourTracker(n int) *tourTracker {
 // at slot c, first child winning ties (branches are fine here: it is
 // only used during construction; the hot path inlines the branch-free
 // version).
+//finitelb:hotpath
 func min4(nodes []tnode, c int) tnode {
 	w := nodes[c]
 	for _, ch := range nodes[c+1 : c+4] {
@@ -190,12 +193,14 @@ func min4(nodes []tnode, c int) tnode {
 	return w
 }
 
+//finitelb:hotpath
 func (k *tourTracker) min() (float64, int) {
 	return math.Float64frombits(k.nodes[rootSlot].tb), int(k.nodes[rootSlot].id)
 }
 
 // update sets server id's key and repairs the fixed leaf→root path,
 // stopping as soon as an ancestor's (key, id) winner is unchanged.
+//finitelb:hotpath
 func (k *tourTracker) update(id int, t float64) {
 	tb := math.Float64bits(t)
 	nodes := k.nodes
@@ -250,10 +255,12 @@ func newHeapTracker4(n int) *heapTracker4 {
 	return trk
 }
 
+//finitelb:hotpath
 func (k *heapTracker4) min() (float64, int) {
 	return math.Float64frombits(k.nodes[rootSlot].tb), int(k.nodes[rootSlot].id)
 }
 
+//finitelb:hotpath
 func (k *heapTracker4) update(id int, t float64) {
 	tb := math.Float64bits(t)
 	i := int(k.pos[id])
@@ -266,6 +273,7 @@ func (k *heapTracker4) update(id int, t float64) {
 // up sifts slot i toward the root, moving displaced nodes down in its
 // wake (hole insertion, one write per level instead of a swap). It
 // reports whether the node moved.
+//finitelb:hotpath
 func (k *heapTracker4) up(i int) bool {
 	nodes := k.nodes
 	node := nodes[i]
@@ -290,6 +298,7 @@ func (k *heapTracker4) up(i int) bool {
 // down sifts slot i toward the leaves: per level one aligned line of
 // four children (the array carries four +Inf sentinels so the scan is
 // always full width), a branch-free min, a single continue/stop branch.
+//finitelb:hotpath
 func (k *heapTracker4) down(i int) {
 	nodes := k.nodes
 	end := rootSlot + k.n
