@@ -178,7 +178,13 @@ func runLoadGen(farm *lb.LB, arr workload.Arrival, svc workload.Service, pol wor
 	fmt.Printf("\nlive measurement (%d jobs measured, %v wall, %.0f jobs/s):\n",
 		s.Jobs, elapsed.Round(time.Millisecond), float64(s.Completed)/elapsed.Seconds())
 	fmt.Printf("  mean delay   %.4f ± %.4f service times (wait %.4f)\n", s.MeanDelay, s.HalfWidth, s.MeanWait)
-	fmt.Printf("  p50/p95/p99  %.3f / %.3f / %.3f\n", s.P50, s.P95, s.P99)
+	clip := ""
+	if s.Overflow > 0 {
+		// Only a histogram-backed recorder can clip; the sketch has no
+		// ceiling. Flag it rather than print a wrong-but-plausible tail.
+		clip = fmt.Sprintf("   (CLIPPED: %d sojourns beyond estimator range; p99/p999 are lower bounds)", s.Overflow)
+	}
+	fmt.Printf("  p50/p95/p99/p999  %.3f / %.3f / %.3f / %.3f%s\n", s.P50, s.P95, s.P99, s.P999, clip)
 	fmt.Printf("  max queue %d, rejected %d, realized service %.3f× nominal\n", s.MaxQueue, s.Rejected, s.MeanService)
 
 	// The paper's bracket applies exactly to Poisson/exponential/SQ(d)
@@ -298,6 +304,18 @@ func newMux(farm *lb.LB, svc workload.Service, seed uint64) http.Handler {
 		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.5\"} %g\n", s.P50)
 		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.95\"} %g\n", s.P95)
 		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.99\"} %g\n", s.P99)
+		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.999\"} %g\n", s.P999)
+		// Native histogram exposition from the mergeable sketch: exact
+		// cumulative counts at log-spaced boundaries, so any Prometheus
+		// quantile/SLO query sees the same tail the Summary reports.
+		fmt.Fprintf(w, "# HELP lbd_delay_service_times Sojourn distribution in mean service times (after warmup).\n")
+		fmt.Fprintf(w, "# TYPE lbd_delay_service_times histogram\n")
+		for _, tb := range farm.Recorder().TailBuckets(32) {
+			fmt.Fprintf(w, "lbd_delay_service_times_bucket{le=\"%g\"} %d\n", tb.LE, tb.Count)
+		}
+		fmt.Fprintf(w, "lbd_delay_service_times_bucket{le=\"+Inf\"} %d\n", s.Jobs)
+		fmt.Fprintf(w, "lbd_delay_service_times_sum %g\n", s.MeanDelay*float64(s.Jobs))
+		fmt.Fprintf(w, "lbd_delay_service_times_count %d\n", s.Jobs)
 		fmt.Fprintf(w, "# HELP lbd_service_realized_ratio Realized over nominal mean service (timer fidelity gauge).\n")
 		fmt.Fprintf(w, "# TYPE lbd_service_realized_ratio gauge\n")
 		fmt.Fprintf(w, "lbd_service_realized_ratio %g\n", s.MeanService)

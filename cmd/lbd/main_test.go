@@ -99,6 +99,9 @@ func TestMetricsAndHealth(t *testing.T) {
 		"lbd_jobs_rejected_total 0",
 		"lbd_delay_mean_service_times ",
 		"lbd_delay_quantile_service_times{q=\"0.99\"}",
+		"lbd_delay_quantile_service_times{q=\"0.999\"}",
+		"lbd_delay_service_times_bucket{le=\"+Inf\"} 20",
+		"lbd_delay_service_times_count 20",
 		"lbd_service_realized_ratio ",
 		"lbd_queue_length{server=\"3\"}",
 	} {

@@ -224,18 +224,70 @@
 // the calendar's window sweep). BenchmarkTracker records the crossover;
 // internal/sim/tracker.go documents why each loser lost.
 //
-// scripts/bench_sim.sh runs BenchmarkSimJobs — {fast, pluggable-default,
-// jsq-indexed, lwl-work-aware} × N ∈ {10, 250, 1000, 10000} at ρ = 0.9 —
-// and writes BENCH_sim.json at the repository root: one record per
-// configuration with ns/job, events/sec (one measured job = one arrival
-// plus one departure event, so events/sec = 2e9/ns_per_op), and
-// allocation counts, with the pre-overhaul baseline embedded under
+// scripts/bench_sim.sh runs BenchmarkSimJobs — {fast, fast-hist,
+// pluggable-default, jsq-indexed, lwl-work-aware} × N ∈ {10, 250, 1000,
+// 10000} at ρ = 0.9 (fast vs fast-hist is the sketch-vs-histogram tail
+// estimator axis) — and writes BENCH_sim.json at the repository root:
+// one record per configuration with ns/job, events/sec (one measured
+// job = one arrival plus one departure event, so events/sec =
+// 2e9/ns_per_op), allocation counts, and the measurement stream's
+// state_bytes footprint, with the pre-overhaul baseline embedded under
 // "baseline" so the trajectory travels with the file. The steady-state
 // event paths are allocation-free (guarded by TestAllocFreeEventPath in
 // CI); after the overhaul the loop is bound by the irreducible parts —
 // the bit-pinned rng draws, the statistics accumulators, and one
 // genuinely unpredictable arrival-vs-departure branch per event — with
 // the tracker down to ~15% of event time.
+//
+// # Streaming observability
+//
+// Every delay number the repository reports — simulator quantiles, live
+// Summary percentiles, Prometheus histograms — flows through one
+// accumulator, internal/stats.Stream, and since PR 7 its default tail
+// estimator is a mergeable DDSketch-style quantile sketch
+// (internal/stats/sketch.go) rather than a fixed-range histogram. The
+// sketch holds log-spaced buckets at relative accuracy α = 1%
+// (γ = (1+α)/(1−α); bucket i covers (γ^(i−1), γ^i]), so any quantile of
+// any positive-valued stream — p50 through p999, at any N and any run
+// length — comes back within α of the exact order statistic, in ~9 KB
+// of state instead of the histogram's 200 KB, with no range to
+// configure and no silent clipping. A bounded bucket budget (1024
+// log-spaced buckets ≈ 8 decades of dynamic range) caps worst-case
+// state by collapsing the lowest buckets toward a canonical cutoff;
+// collapsed-region quantiles degrade to upper bounds (Clamped() reports
+// it) while the upper tail keeps the α guarantee.
+//
+// Mergeability is the load-bearing property: the collapse rule is
+// canonical (final state is a pure function of the observation
+// multiset), so merging per-replication or per-server shard sketches in
+// any order is bit-identical to sketching the whole stream — pinned by
+// white-box state-equality tests under forced collapse, and by an
+// accuracy oracle comparing sketch quantiles against exact sorted-sample
+// quantiles on exponential, Erlang, and bounded-Pareto streams. That is
+// what lets sim.Replications pool tails exactly, lets lb.Recorder keep a
+// sketch per server (recShards = 1024) with cheap exact Snapshot merges,
+// and is the unit-compatible substrate a sharded multi-dispatcher
+// cluster or an SLO controller needs for honest tail reporting (ROADMAP
+// items 2 and 4; this section delivers item 5). cmd/lbd exports the
+// merged sketch natively: p50/p95/p99/p999 quantile gauges plus a
+// cumulative lbd_delay_service_times Prometheus histogram with
+// log-spaced le buckets.
+//
+// The fixed histogram remains behind stats.NewStream and
+// sim.Options.Tail = TailHistogram — the pre-PR-7 bit-identity goldens
+// pin it — and PR 7 also fixed its long-hidden overflow bugs: Add and
+// Tail converted to int before range-checking, so observations beyond
+// ~1.8e17·width overflowed the conversion and panicked (or corrupted a
+// bucket) instead of counting as overflow. Both paths now float-guard
+// first; Histogram.Overflow()/Stream.Overflow() expose the clipped
+// count, sim.Result and lb.Summary surface it, and lbd's load generator
+// flags a clipped p99 as a lower bound. The sketch path never clips —
+// its Overflow() is identically zero.
+//
+// Both estimators ride the same zero-allocation contract as the event
+// loops: Sketch.Add/Merge and the batched Stream.AddBatch are
+// //finitelb:hotpath-annotated, finitelint-clean, and covered by
+// TestAllocFreeEventPath.
 //
 // # Machine-checked invariants
 //

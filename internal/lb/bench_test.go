@@ -88,6 +88,11 @@ func BenchmarkDispatch(b *testing.B) {
 						runtime.Gosched()
 					}
 				}
+				// Recorder accumulator footprint, the memory column of
+				// BENCH_lb.json: per-server sketch shards at N ≤ 1024,
+				// O(KB) each (the 200 KB histogram shards of the ~2 GB
+				// incident would read 5e6+ B even at the smallest N here).
+				b.ReportMetric(float64(lb.rec.StateBytes()), "state_bytes")
 			})
 		}
 	}

@@ -55,8 +55,30 @@ func TestDispatchAndMeasure(t *testing.T) {
 	if s.MaxQueue < 1 {
 		t.Errorf("max queue %d never observed a job", s.MaxQueue)
 	}
-	if !(s.P99 >= s.P95 && s.P95 >= s.P50 && s.P50 > 0) {
-		t.Errorf("quantiles out of order: p50 %v p95 %v p99 %v", s.P50, s.P95, s.P99)
+	if !(s.P999 >= s.P99 && s.P99 >= s.P95 && s.P95 >= s.P50 && s.P50 > 0) {
+		t.Errorf("quantiles out of order: p50 %v p95 %v p99 %v p999 %v", s.P50, s.P95, s.P99, s.P999)
+	}
+	if s.Overflow != 0 {
+		t.Errorf("sketch recorder reported overflow %d", s.Overflow)
+	}
+	// The Prometheus exposition view: monotone cumulative buckets whose
+	// final count books every measured job.
+	bs := lb.Recorder().TailBuckets(32)
+	if len(bs) == 0 || len(bs) > 32 {
+		t.Fatalf("TailBuckets: %d buckets", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].LE <= bs[i-1].LE || bs[i].Count < bs[i-1].Count {
+			t.Fatalf("TailBuckets not monotone at %d: %+v after %+v", i, bs[i], bs[i-1])
+		}
+	}
+	if last := bs[len(bs)-1]; last.Count != int64(jobs) {
+		t.Errorf("final cumulative count %d, want %d", last.Count, jobs)
+	}
+	// The sharded accumulators stay O(KB) per server — the memory bound
+	// that restored per-server sharding headroom.
+	if got := lb.Recorder().StateBytes(); got > 4*16*1024 {
+		t.Errorf("recorder state %d B across 4 shards, want O(KB) each", got)
 	}
 }
 

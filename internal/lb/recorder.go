@@ -13,18 +13,19 @@ import (
 // service (so a sojourn of 2.0 means "two mean service times", directly
 // comparable to sim.Result and to the QBD bounds), through the same
 // stats.Stream arithmetic (Welford moments, batch-means confidence
-// intervals, fixed-width quantile histogram). Completions land in
-// sharded accumulators and Snapshot pools the shards exactly as the
-// simulator pools replications.
+// intervals, mergeable quantile sketch). Completions land in sharded
+// accumulators and Snapshot pools the shards exactly as the simulator
+// pools replications — exactly in the literal sense: the sketch's
+// canonical merge makes shard-pooled tail quantiles bit-equal to a
+// single-stream accumulation, whatever the sharding.
 //
-// Shards are capped at recShards rather than one per server: a shard
-// carries a full quantile histogram (25k bins ≈ 200 KB), so per-server
-// shards put ~2 GB of live accumulator state on a 10⁴-server farm — and
-// the GC cycles that heap provoked purged the dispatcher sync.Pool
-// mid-flight, which is exactly the stray ~1 B/op the N=10⁴ dispatch
-// benchmarks used to show. A few dozen shards hold mutex contention to
-// noise (each server goroutine touches one shard briefly per completion)
-// at a tiny fraction of the memory.
+// Shards hold a quantile sketch (~9 KB) instead of the former 25k-bin
+// histogram (~200 KB) — the shape that once put ~2 GB of accumulator
+// state on a 10⁴-server farm, whose GC cycles purged the dispatcher
+// sync.Pool mid-flight (the stray ~1 B/op the N=10⁴ dispatch benchmarks
+// used to show). At sketch size the recShards cap can sit at 1024:
+// per-server sharding headroom through N=1024 (and 64× less mutex
+// contention above) for under 10 MB worst case.
 type Recorder struct {
 	meanServiceNs float64
 	batchSize     int64
@@ -37,9 +38,9 @@ type Recorder struct {
 	mask   int
 }
 
-// recShards caps the shard count (power of two, comfortably above any
-// realistic core count; servers hash in by id).
-const recShards = 64
+// recShards caps the shard count (power of two; servers hash in by id,
+// so below the cap sharding is per-server and contention-free).
+const recShards = 1024
 
 type recShard struct {
 	mu      sync.Mutex
@@ -47,13 +48,6 @@ type recShard struct {
 	service stats.Welford // realized service durations, work units
 	_       [64]byte      // keep neighbouring shards off one cache line
 }
-
-// histogram shape shared with internal/sim: 0.02 service-time resolution
-// up to 500 service times.
-const (
-	histWidth = 0.02
-	histBins  = 25_000
-)
 
 func newRecorder(n int, meanService time.Duration, warmup, batchSize int64) *Recorder {
 	s := 1
@@ -68,7 +62,9 @@ func newRecorder(n int, meanService time.Duration, warmup, batchSize int64) *Rec
 	}
 	r.warmupLeft.Store(warmup)
 	for i := range r.shards {
-		r.shards[i].stream = stats.NewStream(batchSize, histWidth, histBins)
+		// Sketch configuration shared with internal/sim, so live and
+		// simulated tails are the same estimator at the same accuracy.
+		r.shards[i].stream = stats.NewSketchStream(batchSize, stats.DefaultAlpha, stats.DefaultSketchBudget)
 	}
 	return r
 }
@@ -112,8 +108,15 @@ type Summary struct {
 	Rejected  int64   // jobs refused on a full queue
 	MaxQueue  int     // largest queue length reserved by a dispatch
 
-	// Sojourn quantiles, in mean service times.
-	P50, P95, P99 float64
+	// Sojourn quantiles, in mean service times (sketch-estimated within
+	// 1% relative error; P999 is the reason the sketch replaced the
+	// fixed histogram, which clipped everything past 500 service times).
+	P50, P95, P99, P999 float64
+
+	// Overflow counts observations the tail estimator could not resolve.
+	// Always 0 with the sketch recorder; retained so callers (cmd/lbd)
+	// can flag clipped quantiles if a histogram recorder ever returns.
+	Overflow int64
 
 	// MeanService is the realized mean service duration in units of the
 	// configured one — the live system's fidelity gauge. ≈1 when the
@@ -123,10 +126,12 @@ type Summary struct {
 	MeanService float64
 }
 
-// Snapshot pools all shards into one Summary. It may run concurrently
-// with recording; each shard is locked only while merged.
-func (r *Recorder) Snapshot() Summary {
-	merged := stats.NewStream(r.batchSize, histWidth, histBins)
+// merge pools every shard into one fresh stream; callers get exactly the
+// state a single unsharded stream would hold (canonical sketch merge).
+// It may run concurrently with recording; each shard is locked only while
+// merged.
+func (r *Recorder) merge() (*stats.Stream, stats.Welford) {
+	merged := stats.NewSketchStream(r.batchSize, stats.DefaultAlpha, stats.DefaultSketchBudget)
 	var service stats.Welford
 	for i := range r.shards {
 		sh := &r.shards[i]
@@ -135,6 +140,12 @@ func (r *Recorder) Snapshot() Summary {
 		service.Merge(sh.service)
 		sh.mu.Unlock()
 	}
+	return merged, service
+}
+
+// Snapshot pools all shards into one Summary.
+func (r *Recorder) Snapshot() Summary {
+	merged, service := r.merge()
 	s := Summary{
 		MeanDelay:   merged.Sojourns.Mean(),
 		MeanWait:    merged.Sojourns.Mean() - 1,
@@ -143,11 +154,36 @@ func (r *Recorder) Snapshot() Summary {
 		Completed:   r.completed.Load(),
 		MaxQueue:    int(r.maxQueue.Load()),
 		MeanService: service.Mean(),
+		Overflow:    merged.Overflow(),
 	}
 	if merged.N() > 0 {
-		s.P50 = merged.Hist.Quantile(0.50)
-		s.P95 = merged.Hist.Quantile(0.95)
-		s.P99 = merged.Hist.Quantile(0.99)
+		s.P50 = merged.Quantile(0.50)
+		s.P95 = merged.Quantile(0.95)
+		s.P99 = merged.Quantile(0.99)
+		s.P999 = merged.Quantile(0.999)
 	}
 	return s
+}
+
+// TailBuckets returns the pooled sojourn distribution as at most max
+// cumulative buckets at exact log-spaced boundaries — the payload of
+// cmd/lbd's native Prometheus histogram. May be nil before any
+// measurement.
+func (r *Recorder) TailBuckets(max int) []stats.TailBucket {
+	merged, _ := r.merge()
+	if merged.Sketch == nil {
+		return nil
+	}
+	return merged.Sketch.CumulativeBuckets(max)
+}
+
+// StateBytes reports the total accumulator footprint across shards — the
+// number the sketch migration is about: ~9 KB per shard against the
+// former 200 KB histograms.
+func (r *Recorder) StateBytes() int {
+	total := 0
+	for i := range r.shards {
+		total += r.shards[i].stream.StateBytes()
+	}
+	return total
 }

@@ -28,6 +28,12 @@ func TestHotPathCoversAllocFreeEventPath(t *testing.T) {
 	required := map[string][]string{
 		// The measured event loops themselves.
 		"sim/loop.go": {"runTyped", "runDefault", "flush", "workAt", "noteWork"},
+		// The per-departure accumulators the loops flush into: the batched
+		// stream entry point and the quantile sketch behind it (Add per
+		// observation, addCount/collapse its internals, Merge on the
+		// replication/shard pooling path).
+		"stats/stream.go": {"AddBatch"},
+		"stats/sketch.go": {"Add", "addCount", "collapse", "Merge"},
 		// Every picker the alloc test's policies route through, plus the
 		// rest of the pick set (one stray fmt call in any of them would
 		// put allocations on some policy's event path).

@@ -17,7 +17,11 @@ import (
 // for:
 //
 //   - fast: the default wiring (Poisson/exponential/SQ(2)), which
-//     resolves onto the hand-specialized loop;
+//     resolves onto the hand-specialized loop — sketch tail estimator,
+//     the default;
+//   - fast-hist: the same wiring on the legacy fixed-width histogram
+//     estimator, the sketch-vs-histogram cost axis (math.Log per
+//     departure vs one FDIV, 8 KB vs 200 KB of accumulator state);
 //   - pluggable-default: the same physical system configured through the
 //     pluggable machinery with an explicit unit-speed vector — the axis
 //     that historically forced the interface loop, kept so the
@@ -32,6 +36,7 @@ var benchConfigs = []struct {
 	opts           func() Options
 }{
 	{"fast", false, func() Options { return Options{} }},
+	{"fast-hist", false, func() Options { return Options{Tail: TailHistogram} }},
 	{"pluggable-default", true, func() Options {
 		return Options{Arrival: workload.Poisson{}, Service: workload.Exponential{}}
 	}},
@@ -71,9 +76,21 @@ func BenchmarkSimJobs(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				// Construct the runner — server rings, dispatch trees, and
+				// the measurement stream — outside the timed region, so B/op
+				// measures the event path itself. The old shape timed
+				// runStream whole; at N=10⁴ the ~1 MB of setup divided by
+				// ~2M iterations surfaced as a phantom 1–2 B/op that looked
+				// exactly like the PR-5 accumulator-heap incident.
+				res := newSimStream(opts.BatchSize, opts.Tail)
+				tr := newTypedRunner(p, w, opts.Warmup, res, opts.Seed)
+				if tr == nil {
+					b.Fatal("wiring did not resolve onto the typed loop")
+				}
 				b.ReportAllocs()
 				b.ResetTimer()
-				runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed)
+				tr.run(opts.Jobs)
+				b.ReportMetric(float64(res.StateBytes()), "state_bytes")
 			})
 		}
 	}

@@ -42,9 +42,12 @@ func testWirings(t *testing.T) map[string]testWiring {
 }
 
 // runInterfaceStream mirrors runStream's fallback arm unconditionally:
-// the interface loop over the same frand-backed stream.
+// the interface loop over the same frand-backed stream. Sketch tail, like
+// runStream's default — so typed-vs-interface equality also pins that the
+// batched sketch arm (AddBatch) and the per-observation one (Add) land in
+// identical sketch states.
 func runInterfaceStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64) *stats.Stream {
-	res := stats.NewStream(batchSize, 0.02, 25_000)
+	res := newSimStream(batchSize, TailSketch)
 	rng := rand.New(frand.New(seed, 0x5bd1e995))
 	servers := make([]server, p.N)
 	for i := range servers {
@@ -80,7 +83,7 @@ func TestTypedLoopMatchesInterfaceLoop(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/N=%d: %v", name, n, err)
 			}
-			tr := newTypedRunner(p, w, o.Warmup, stats.NewStream(o.BatchSize, 0.02, 25_000), o.Seed)
+			tr := newTypedRunner(p, w, o.Warmup, newSimStream(o.BatchSize, TailSketch), o.Seed)
 			if tr == nil {
 				t.Fatalf("%s/N=%d: built-in wiring did not resolve onto the typed loop", name, n)
 			}
@@ -255,7 +258,7 @@ func TestExoticWiringFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr := newTypedRunner(p, w, o.Warmup, stats.NewStream(o.BatchSize, 0.02, 25_000), o.Seed); tr != nil {
+	if tr := newTypedRunner(p, w, o.Warmup, newSimStream(o.BatchSize, TailSketch), o.Seed); tr != nil {
 		t.Error("exotic arrival resolved onto the typed loop")
 	}
 }
@@ -285,12 +288,12 @@ func TestTrackerModeInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prod := newTypedRunner(p, w, opts.Warmup, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		prod := newTypedRunner(p, w, opts.Warmup, newSimStream(opts.BatchSize, TailSketch), opts.Seed)
 		if prod.st.trk.cal.keys == nil {
 			t.Fatalf("%s: N=%d did not select the calendar tracker", name, p.N)
 		}
 		prod.run(opts.Jobs)
-		forced := newTypedRunner(p, w, opts.Warmup, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		forced := newTypedRunner(p, w, opts.Warmup, newSimStream(opts.BatchSize, TailSketch), opts.Seed)
 		forced.st.trk = &tracker{tour: newTourTracker(p.N), n: p.N}
 		forced.run(opts.Jobs)
 		if a, b := result(prod.st.res), result(forced.st.res); a != b {
@@ -313,9 +316,9 @@ func TestTypedChunkedRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		one := newTypedRunner(p, w, opts.Warmup, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		one := newTypedRunner(p, w, opts.Warmup, newSimStream(opts.BatchSize, TailSketch), opts.Seed)
 		one.run(opts.Jobs)
-		chunked := newTypedRunner(p, w, opts.Warmup, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		chunked := newTypedRunner(p, w, opts.Warmup, newSimStream(opts.BatchSize, TailSketch), opts.Seed)
 		for j := int64(500); j <= opts.Jobs; j += 500 {
 			chunked.run(j)
 		}
@@ -331,16 +334,27 @@ func TestTypedChunkedRuns(t *testing.T) {
 // exceeds the measured jobs so no batch-means append lands mid-chunk,
 // and the histogram/ring growth all happens in the warm phase.
 func TestAllocFreeEventPath(t *testing.T) {
-	p := sqd.Params{N: 100, D: 2, Rho: 0.9}
 	pareto, err := workload.NewBoundedPareto(1.5, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, opts := range map[string]Options{
-		"default":        {Seed: 3},
-		"jsq-indexed":    {Seed: 3, Policy: workload.JSQ{}},
-		"lwl-work-aware": {Seed: 3, Service: pareto, Policy: workload.LWL{}},
+	// Sketch tail (the default) everywhere, one histogram arm to keep the
+	// legacy estimator's path guarded too; the N=10⁴ cases pin the floor
+	// at the size where BENCH_sim.json historically showed 1–2 B/op of
+	// setup amortization (see BenchmarkSimJobs).
+	for name, tc := range map[string]struct {
+		opts Options
+		n    int
+	}{
+		"default":            {Options{Seed: 3}, 100},
+		"default-hist":       {Options{Seed: 3, Tail: TailHistogram}, 100},
+		"jsq-indexed":        {Options{Seed: 3, Policy: workload.JSQ{}}, 100},
+		"lwl-work-aware":     {Options{Seed: 3, Service: pareto, Policy: workload.LWL{}}, 100},
+		"jsq-indexed-10k":    {Options{Seed: 3, Policy: workload.JSQ{}}, 10_000},
+		"lwl-work-aware-10k": {Options{Seed: 3, Service: pareto, Policy: workload.LWL{}}, 10_000},
 	} {
+		p := sqd.Params{N: tc.n, D: 2, Rho: 0.9}
+		opts := tc.opts
 		opts.Jobs = 1 << 30 // never reached; chunks drive the stream
 		opts.BatchSize = 1 << 40
 		opts.setDefaults()
@@ -348,11 +362,11 @@ func TestAllocFreeEventPath(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr := newTypedRunner(p, w, 0, stats.NewStream(opts.BatchSize, 0.02, 25_000), opts.Seed)
+		tr := newTypedRunner(p, w, 0, newSimStream(opts.BatchSize, opts.Tail), opts.Seed)
 		if tr == nil {
 			t.Fatalf("%s: wiring did not resolve onto the typed loop", name)
 		}
-		jobs := int64(50_000) // warm: grow rings, touch histogram bins
+		jobs := int64(50_000) // warm: grow rings, touch tail-estimator state
 		tr.run(jobs)
 		const chunk = 10_000
 		avg := testing.AllocsPerRun(5, func() {

@@ -59,6 +59,37 @@ type Options struct {
 	// every entry must be positive. The aggregate arrival rate scales with
 	// Σspeeds so ρ stays the system utilization.
 	Speeds []float64
+
+	// Tail selects the quantile estimator (TailSketch default). The choice
+	// never affects the rng draw sequence or the moment arithmetic — only
+	// how Result's quantiles are computed — so every run stays
+	// seed-deterministic under either estimator.
+	Tail TailEstimator
+}
+
+// TailEstimator selects how a run estimates sojourn quantiles.
+type TailEstimator int
+
+const (
+	// TailSketch (the default) uses the mergeable relative-error quantile
+	// sketch: α=1% accuracy at any sojourn magnitude in O(KB) of state,
+	// with exact shard/replication merging.
+	TailSketch TailEstimator = iota
+	// TailHistogram uses the legacy fixed-width histogram (0.02 resolution
+	// up to 500 mean service times, values beyond counted in
+	// Result.Overflow). Kept for the bit-identity goldens captured before
+	// the sketch existed.
+	TailHistogram
+)
+
+// newSimStream builds the measurement stream for one replication with the
+// selected tail estimator; shapes here are the simulator's standard ones.
+func newSimStream(batchSize int64, tail TailEstimator) *stats.Stream {
+	if tail == TailHistogram {
+		// 0.02 service-time resolution up to 500 service times.
+		return stats.NewStream(batchSize, 0.02, 25_000)
+	}
+	return stats.NewSketchStream(batchSize, stats.DefaultAlpha, stats.DefaultSketchBudget)
 }
 
 func (o *Options) setDefaults() {
@@ -153,8 +184,15 @@ type Result struct {
 	Jobs      int64   // measured jobs
 	MaxQueue  int     // largest queue length observed
 
-	// Sojourn quantiles (histogram-estimated at 0.02 resolution).
+	// Sojourn quantiles: sketch-estimated within 1% relative error by
+	// default; histogram-estimated at 0.02 resolution under TailHistogram.
 	P50, P95, P99 float64
+
+	// Overflow counts observations the tail estimator could not resolve:
+	// nonzero only under TailHistogram, where quantiles beyond 500 mean
+	// service times are silently clipped to the upper edge. The sketch has
+	// no ceiling and always reports 0.
+	Overflow int64
 }
 
 // String renders the result compactly.
@@ -252,9 +290,10 @@ func result(s *stats.Stream) Result {
 		HalfWidth: s.Batch.HalfWidth(),
 		Jobs:      s.Sojourns.N(),
 		MaxQueue:  s.MaxQueue,
-		P50:       s.Hist.Quantile(0.50),
-		P95:       s.Hist.Quantile(0.95),
-		P99:       s.Hist.Quantile(0.99),
+		P50:       s.Quantile(0.50),
+		P95:       s.Quantile(0.95),
+		P99:       s.Quantile(0.99),
+		Overflow:  s.Overflow(),
 	}
 }
 
@@ -282,7 +321,7 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	if opts.Replications == 1 {
-		return result(runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed)), nil
+		return result(runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed, opts.Tail)), nil
 	}
 
 	r := int64(opts.Replications)
@@ -297,7 +336,7 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 		if int64(i) < opts.Jobs%r {
 			jobs++
 		}
-		return runStream(p, w, jobs, opts.Warmup, opts.BatchSize, seeds[i]), nil
+		return runStream(p, w, jobs, opts.Warmup, opts.BatchSize, seeds[i], opts.Tail), nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -385,9 +424,8 @@ func (f *farm) Work(i int) float64 {
 // the interface loop below. Both loops produce the same draw sequence for
 // the same wiring, which is what keeps the bit-identity regression tests
 // green (they pin each path against the same pre-workload goldens).
-func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64) *stats.Stream {
-	// The histogram covers sojourns up to 500 service times.
-	res := stats.NewStream(batchSize, 0.02, 25_000)
+func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64, tail TailEstimator) *stats.Stream {
+	res := newSimStream(batchSize, tail)
 	if tr := newTypedRunner(p, w, warmup, res, seed); tr != nil {
 		tr.run(jobs)
 		return res

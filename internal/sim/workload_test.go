@@ -32,20 +32,23 @@ func TestDefaultWorkloadBitIdentical(t *testing.T) {
 		// (the speed vector historically forced the interface loop, which
 		// is pinned to the same draws by TestTypedLoopMatchesInterfaceLoop
 		// and TestExoticWiringFallsBack); the third route keeps the
-		// division-by-speed arm on the golden trajectory.
+		// division-by-speed arm on the golden trajectory. TailHistogram
+		// pins the quantile estimator the goldens were captured with (the
+		// sketch default changes only the P* fields, never the draws — the
+		// sketch-route check below proves that).
 		explicit := Options{
-			Jobs: tc.jobs, Seed: tc.seed,
+			Jobs: tc.jobs, Seed: tc.seed, Tail: TailHistogram,
 			Arrival: workload.Poisson{},
 			Service: workload.Exponential{},
 			Policy:  workload.SQD{D: tc.p.D},
 			Speeds:  nil,
 		}
-		unitSpeeds := Options{Jobs: tc.jobs, Seed: tc.seed, Speeds: make([]float64, tc.p.N)}
+		unitSpeeds := Options{Jobs: tc.jobs, Seed: tc.seed, Tail: TailHistogram, Speeds: make([]float64, tc.p.N)}
 		for i := range unitSpeeds.Speeds {
 			unitSpeeds.Speeds[i] = 1
 		}
 		for name, opts := range map[string]Options{
-			"defaulted":       {Jobs: tc.jobs, Seed: tc.seed},
+			"defaulted":       {Jobs: tc.jobs, Seed: tc.seed, Tail: TailHistogram},
 			"explicit":        explicit,
 			"explicit-speeds": unitSpeeds,
 		} {
@@ -56,6 +59,28 @@ func TestDefaultWorkloadBitIdentical(t *testing.T) {
 			if got != tc.want {
 				t.Errorf("N=%d d=%d seed=%d (%s): result drifted from pre-workload simulator:\ngot  %+v\nwant %+v",
 					tc.p.N, tc.p.D, tc.seed, name, got, tc.want)
+			}
+		}
+
+		// The default (sketch) estimator must ride the exact same draw
+		// trajectory: every non-quantile field bit-equal to the golden, and
+		// the sketch quantiles within α of the histogram's 0.02-resolution
+		// estimates.
+		sk, err := Run(tc.p, Options{Jobs: tc.jobs, Seed: tc.seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDraws, wantDraws := sk, tc.want
+		gotDraws.P50, gotDraws.P95, gotDraws.P99 = 0, 0, 0
+		wantDraws.P50, wantDraws.P95, wantDraws.P99 = 0, 0, 0
+		if gotDraws != wantDraws {
+			t.Errorf("N=%d d=%d seed=%d (sketch): draws drifted from golden:\ngot  %+v\nwant %+v",
+				tc.p.N, tc.p.D, tc.seed, gotDraws, wantDraws)
+		}
+		for _, pair := range [][2]float64{{sk.P50, tc.want.P50}, {sk.P95, tc.want.P95}, {sk.P99, tc.want.P99}} {
+			if math.Abs(pair[0]-pair[1]) > 0.011*pair[1]+0.021 { // α rel + histogram bin width
+				t.Errorf("N=%d d=%d seed=%d: sketch quantile %v too far from histogram golden %v",
+					tc.p.N, tc.p.D, tc.seed, pair[0], pair[1])
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 // boundary (quantiles inside the overflow region are lower bounds).
 type Histogram struct {
 	width    float64
+	limit    float64 // width·bins: observations ≥ limit are overflow
 	bins     []int64
 	overflow int64
 	n        int64
@@ -24,7 +25,7 @@ func NewHistogram(width float64, bins int) *Histogram {
 	if width <= 0 || bins <= 0 {
 		panic(fmt.Sprintf("stats: invalid histogram %v × %d", width, bins))
 	}
-	return &Histogram{width: width, bins: make([]int64, bins)}
+	return &Histogram{width: width, limit: width * float64(bins), bins: make([]int64, bins)}
 }
 
 // Add records one observation; negative values panic (sojourns can't be).
@@ -36,8 +37,16 @@ func (h *Histogram) Add(x float64) {
 	if x > h.max {
 		h.max = x
 	}
+	// The float comparison must come before the int conversion: for
+	// x ≳ 1.8e17·width the quotient exceeds MaxInt64 and int(x/h.width)
+	// is implementation-defined (negative on amd64/arm64), which used to
+	// index bins[-…] and panic instead of counting overflow.
+	if x >= h.limit {
+		h.overflow++
+		return
+	}
 	i := int(x / h.width)
-	if i >= len(h.bins) {
+	if i >= len(h.bins) { // belt for x/width rounding up to the edge
 		h.overflow++
 		return
 	}
@@ -63,6 +72,16 @@ func (h *Histogram) Merge(o *Histogram) {
 
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.n }
+
+// Overflow returns the number of observations at or beyond the covered
+// range [0, width·bins). Quantiles that fall into this region are
+// reported at the upper edge — a silent lower bound unless the caller
+// checks this count and flags the clip.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// StateBytes returns the approximate in-memory footprint of the
+// histogram — the bin array plus the fixed header.
+func (h *Histogram) StateBytes() int { return 8*len(h.bins) + 64 }
 
 // Max returns the largest observation.
 func (h *Histogram) Max() float64 { return h.max }
@@ -96,6 +115,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 func (h *Histogram) Tail(x float64) float64 {
 	if h.n == 0 {
 		return 0
+	}
+	if x < 0 {
+		return 1
+	}
+	// Same overflow hazard as Add: compare in float space before
+	// converting, or Tail(1e300) indexes bins[negative].
+	if x >= h.limit {
+		return float64(h.overflow) / float64(h.n)
 	}
 	i := int(x / h.width)
 	if i >= len(h.bins) {

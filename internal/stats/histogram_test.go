@@ -72,6 +72,57 @@ func TestHistogramOverflow(t *testing.T) {
 	}
 }
 
+// TestHistogramExtremeValues is the regression test for the int-overflow
+// bugs: int(x / h.width) wraps negative for x ≳ 1.8e17·width, so Add
+// panicked (bins[-…]) instead of counting overflow and Tail indexed out
+// of range instead of returning the overflow fraction. Both must treat
+// any beyond-range value — however large — as overflow.
+func TestHistogramExtremeValues(t *testing.T) {
+	const width, bins = 0.02, 25_000 // the simulator's shape, limit 500
+	cases := []struct {
+		name     string
+		x        float64
+		overflow bool
+	}{
+		{"last-bin", 499.99, false},
+		{"edge", 500, true},
+		{"beyond-range", 1e6, true},
+		{"int-overflow-threshold", 1.9e17 * width, true},
+		{"huge", 1e300, true},
+		{"max-float", math.MaxFloat64, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(width, bins)
+			h.Add(1) // one in-range observation
+			h.Add(tc.x)
+			wantOv := int64(0)
+			if tc.overflow {
+				wantOv = 1
+			}
+			if got := h.Overflow(); got != wantOv {
+				t.Errorf("Add(%v): Overflow() = %d, want %d", tc.x, got, wantOv)
+			}
+			if h.N() != 2 {
+				t.Errorf("N = %d, want 2", h.N())
+			}
+			// Tail at the same extreme x must not panic either, and beyond
+			// the range it reports exactly the overflow fraction.
+			if tc.overflow {
+				if got := h.Tail(tc.x); got != float64(wantOv)/2 {
+					t.Errorf("Tail(%v) = %v, want %v", tc.x, got, float64(wantOv)/2)
+				}
+			}
+			// The sketch-free stream path shares the fused arithmetic.
+			s := NewStream(1000, width, bins)
+			s.AddBatch([]float64{1, tc.x})
+			if got := s.Overflow(); got != wantOv {
+				t.Errorf("AddBatch(%v): Overflow() = %d, want %d", tc.x, got, wantOv)
+			}
+		})
+	}
+}
+
 func TestHistogramPanics(t *testing.T) {
 	h := NewHistogram(1, 10)
 	for _, fn := range []func(){

@@ -6,24 +6,32 @@ import (
 )
 
 // Stream bundles the accumulators of one sojourn-time measurement stream:
-// running moments (Welford), a batch-means confidence interval, a quantile
-// histogram, and the largest queue length observed. It is the shared
+// running moments (Welford), a batch-means confidence interval, a tail
+// estimator, and the largest queue length observed. It is the shared
 // measurement currency of the repository — the discrete-event simulator
 // (internal/sim) fills one per replication and the live dispatcher runtime
 // (internal/lb) fills one per server shard — so simulated and live
 // estimates are produced by byte-for-byte the same arithmetic and are
 // directly comparable. Streams are not safe for concurrent use; accumulate
 // per goroutine and Merge.
+//
+// The tail estimator is exactly one of Hist (fixed-width Histogram, the
+// legacy shape the bit-identity goldens were captured with) or Sketch (the
+// mergeable relative-error quantile sketch, the default everywhere new).
+// Which one is active never changes the moment/batch arithmetic — only how
+// Quantile answers.
 type Stream struct {
 	Sojourns Welford
 	Batch    *BatchMeans
 	Hist     *Histogram
+	Sketch   *Sketch
 	MaxQueue int
 }
 
 // NewStream creates a stream with the given batch size for the confidence
-// interval and a quantile histogram of bins fixed-width buckets of the
-// given width.
+// interval and a fixed-width quantile histogram of bins buckets of the
+// given width. This is the legacy constructor kept for the golden tests;
+// new call sites want NewSketchStream.
 func NewStream(batchSize int64, binWidth float64, bins int) *Stream {
 	return &Stream{
 		Batch: NewBatchMeans(batchSize),
@@ -31,24 +39,52 @@ func NewStream(batchSize int64, binWidth float64, bins int) *Stream {
 	}
 }
 
+// NewSketchStream creates a stream whose tail estimator is a mergeable
+// quantile sketch with relative accuracy alpha and at most budget
+// buckets — O(KB) of state with no upper range limit, against the
+// histogram's 200 KB and hard 500-service-time ceiling.
+func NewSketchStream(batchSize int64, alpha float64, budget int) *Stream {
+	return &Stream{
+		Batch:  NewBatchMeans(batchSize),
+		Sketch: NewSketch(alpha, budget),
+	}
+}
+
 // Add records one sojourn observation into every accumulator.
 func (s *Stream) Add(sojourn float64) {
 	s.Batch.Add(sojourn)
 	s.Sojourns.Add(sojourn)
-	s.Hist.Add(sojourn)
+	if s.Sketch != nil {
+		s.Sketch.Add(sojourn)
+	} else {
+		s.Hist.Add(sojourn)
+	}
 }
 
 // AddBatch records a block of observations, equivalent to calling Add on
 // each in order (identical accumulator arithmetic, identical final state)
 // but amortizing the per-observation call chain: the simulator's event
 // loop buffers measured sojourns on its stack and flushes them in blocks,
-// which keeps the three accumulator objects out of the per-event working
-// set.
-// The loop body is Add's, hand-fused (same package, same fields, same
-// operation order — bit-identical accumulator states) so the whole block
-// runs without a call per observation.
+// which keeps the accumulator objects out of the per-event working set.
+// The loop body is Add's, hand-fused for the histogram arm (same package,
+// same fields, same operation order — bit-identical accumulator states);
+// the sketch's Add is already a leaf call.
+//
+//finitelb:hotpath
 func (s *Stream) AddBatch(xs []float64) {
 	b := s.Batch
+	if sk := s.Sketch; sk != nil {
+		for _, x := range xs {
+			b.cur.Add(x)
+			if b.cur.n == b.batchSize {
+				b.batches.Add(b.cur.Mean())
+				b.cur = Welford{}
+			}
+			s.Sojourns.Add(x)
+			sk.Add(x)
+		}
+		return
+	}
 	h := s.Hist
 	for _, x := range xs {
 		b.cur.Add(x)
@@ -58,11 +94,15 @@ func (s *Stream) AddBatch(xs []float64) {
 		}
 		s.Sojourns.Add(x)
 		if x < 0 || math.IsNaN(x) {
-			panic(fmt.Sprintf("stats: invalid histogram observation %v", x))
+			s.badObservation(x)
 		}
 		h.n++
 		if x > h.max {
 			h.max = x
+		}
+		if x >= h.limit {
+			h.overflow++
+			continue
 		}
 		if i := int(x / h.width); i < len(h.bins) {
 			h.bins[i]++
@@ -70,6 +110,11 @@ func (s *Stream) AddBatch(xs []float64) {
 			h.overflow++
 		}
 	}
+}
+
+// badObservation is AddBatch's cold panic exit (finitelint hotpath).
+func (s *Stream) badObservation(x float64) {
+	panic(fmt.Sprintf("stats: invalid histogram observation %v", x))
 }
 
 // ObserveQueue records a queue length; only the running maximum is kept.
@@ -82,14 +127,53 @@ func (s *Stream) ObserveQueue(l int) {
 // N returns the number of sojourns recorded.
 func (s *Stream) N() int64 { return s.Sojourns.N() }
 
+// Quantile estimates the q-quantile of the sojourn stream through
+// whichever tail estimator the stream carries.
+func (s *Stream) Quantile(q float64) float64 {
+	if s.Sketch != nil {
+		return s.Sketch.Quantile(q)
+	}
+	return s.Hist.Quantile(q)
+}
+
+// Overflow returns the number of observations the tail estimator could
+// not resolve: the histogram's beyond-range count, which silently clips
+// high quantiles to the upper edge. Sketch streams have no range ceiling
+// and always return 0.
+func (s *Stream) Overflow() int64 {
+	if s.Hist != nil {
+		return s.Hist.Overflow()
+	}
+	return 0
+}
+
+// StateBytes returns the approximate in-memory footprint of the stream's
+// accumulators — in practice the tail estimator, which dominates.
+func (s *Stream) StateBytes() int {
+	b := 128 // Welford + BatchMeans + header
+	if s.Hist != nil {
+		b += s.Hist.StateBytes()
+	}
+	if s.Sketch != nil {
+		b += s.Sketch.StateBytes()
+	}
+	return b
+}
+
 // Merge folds another stream into s, pooling moments, batch means, and
-// histogram counts exactly as if s had also seen o's observations (up to
-// o's partial trailing batch, which is discarded as in a single-stream
-// run). Batch sizes and histogram shapes must match.
+// tail-estimator state exactly as if s had also seen o's observations (up
+// to o's partial trailing batch, which is discarded as in a single-stream
+// run). Batch sizes and tail-estimator configurations must match.
 func (s *Stream) Merge(o *Stream) {
 	s.Sojourns.Merge(o.Sojourns)
 	s.Batch.Merge(o.Batch)
-	s.Hist.Merge(o.Hist)
+	if s.Sketch != nil && o.Sketch != nil {
+		s.Sketch.Merge(o.Sketch)
+	} else if s.Hist != nil && o.Hist != nil {
+		s.Hist.Merge(o.Hist)
+	} else {
+		panic("stats: merging streams with different tail estimators")
+	}
 	if o.MaxQueue > s.MaxQueue {
 		s.MaxQueue = o.MaxQueue
 	}

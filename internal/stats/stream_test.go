@@ -51,3 +51,80 @@ func TestStreamMergeMatchesSingleStream(t *testing.T) {
 		t.Errorf("merged max queue %d, want 7", a.MaxQueue)
 	}
 }
+
+// TestSketchStreamMergeMatchesSingleStream is the sketch-mode twin of the
+// test above, with a stronger tail claim: sketch quantiles of the merged
+// shards equal the whole-stream quantiles exactly, not just bucket-wise.
+func TestSketchStreamMergeMatchesSingleStream(t *testing.T) {
+	const batch = 50
+	whole := NewSketchStream(batch, DefaultAlpha, DefaultSketchBudget)
+	a := NewSketchStream(batch, DefaultAlpha, DefaultSketchBudget)
+	b := NewSketchStream(batch, DefaultAlpha, DefaultSketchBudget)
+	rng := rand.New(rand.NewPCG(5, 9))
+	for i := 0; i < 40*batch; i++ {
+		x := rng.ExpFloat64()
+		whole.Add(x)
+		if (i/batch)%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Sojourns.Mean()-whole.Sojourns.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v, want %v", a.Sojourns.Mean(), whole.Sojourns.Mean())
+	}
+	if a.Batch.Batches() != whole.Batch.Batches() {
+		t.Errorf("merged %d batches, want %d", a.Batch.Batches(), whole.Batch.Batches())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("merged q%.3f = %v, want %v", q, got, want)
+		}
+	}
+	if a.Overflow() != 0 {
+		t.Errorf("sketch stream reported overflow %d", a.Overflow())
+	}
+}
+
+// TestStreamAddBatchSketch: the sketch arm of AddBatch must leave every
+// accumulator in the identical state as per-observation Add calls.
+func TestStreamAddBatchSketch(t *testing.T) {
+	batched := NewSketchStream(25, DefaultAlpha, DefaultSketchBudget)
+	looped := NewSketchStream(25, DefaultAlpha, DefaultSketchBudget)
+	rng := rand.New(rand.NewPCG(4, 2))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+		looped.Add(xs[i])
+	}
+	batched.AddBatch(xs)
+	if batched.Sojourns != looped.Sojourns {
+		t.Errorf("moments diverged: %+v vs %+v", batched.Sojourns, looped.Sojourns)
+	}
+	if batched.Batch.Batches() != looped.Batch.Batches() {
+		t.Errorf("batches %d vs %d", batched.Batch.Batches(), looped.Batch.Batches())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a, b := batched.Quantile(q), looped.Quantile(q); a != b {
+			t.Errorf("q%v: %v vs %v", q, a, b)
+		}
+	}
+}
+
+// TestStreamStateBytes pins the memory story the recorder migration is
+// about: a sketch stream is two orders of magnitude smaller than the
+// 25k-bin histogram stream.
+func TestStreamStateBytes(t *testing.T) {
+	hist := NewStream(100, 0.02, 25_000)
+	sk := NewSketchStream(100, DefaultAlpha, DefaultSketchBudget)
+	if hb := hist.StateBytes(); hb < 8*25_000 {
+		t.Errorf("histogram stream %d B, want ≥ 200 KB", hb)
+	}
+	if sb := sk.StateBytes(); sb > 16*1024 {
+		t.Errorf("sketch stream %d B, want O(KB)", sb)
+	}
+}

@@ -7,7 +7,9 @@
 # Axes: BenchmarkPick and BenchmarkDispatch cover every policy at
 # N ∈ {10, 100, 1000, 10000} (N ≥ 64 exercises the minindex-backed JSQ/LWL
 # path); BenchmarkDispatchContended covers the multi-producer fan-in at
-# D ∈ {1, 2, 4, 8} dispatchers on one shared farm.
+# D ∈ {1, 2, 4, 8} dispatchers on one shared farm. Dispatch records carry
+# a state_bytes memory column: the recorder's sketch-shard accumulator
+# footprint (per-server up to N = 1024, ~9 KB each).
 #
 # Usage:  scripts/bench_lb.sh            # default 0.5s per benchmark
 #         BENCHTIME=2s scripts/bench_lb.sh
@@ -22,9 +24,20 @@ go test -run '^$' -bench 'BenchmarkDispatch|BenchmarkDispatchContended|Benchmark
 awk '
 /^goos|^goarch|^cpu/ { meta[$1] = substr($0, index($0, $2)); next }
 /^Benchmark/ {
+    # Scan (value, unit) pairs rather than fixed positions: custom
+    # metrics (state_bytes) land between ns/op and the -benchmem columns.
     name = $1; sub(/-[0-9]+$/, "", name)
-    printf("%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"jobs_per_sec\":%.0f,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
-           sep, name, $2, $3, 1e9 / $3, $5, $7)
+    ns = ""; bytes = "0"; allocs = "0"; state = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op") ns = v
+        else if (u == "B/op") bytes = v
+        else if (u == "allocs/op") allocs = v
+        else if (u == "state_bytes") state = v
+    }
+    extra = (state == "") ? "" : sprintf(",\"state_bytes\":%s", state)
+    printf("%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"jobs_per_sec\":%.0f,\"bytes_per_op\":%s,\"allocs_per_op\":%s%s}",
+           sep, name, $2, ns, 1e9 / ns, bytes, allocs, extra)
     sep = ",\n"
 }
 END {

@@ -6,11 +6,14 @@
 # counts. The sim counterpart of bench_lb.sh/BENCH_lb.json — rerun after
 # touching the event core and diff.
 #
-# Axes: BenchmarkSimJobs covers {fast, pluggable-default, jsq-indexed,
-# lwl-work-aware} × N ∈ {10, 250, 1000, 10000} at ρ = 0.9, d = 2. The
-# pre-overhaul baseline (scripts/bench_sim_baseline.json, captured at the
-# PR-4 head) is embedded verbatim under "baseline" so the before/after
-# trajectory travels with the file.
+# Axes: BenchmarkSimJobs covers {fast, fast-hist, pluggable-default,
+# jsq-indexed, lwl-work-aware} × N ∈ {10, 250, 1000, 10000} at ρ = 0.9,
+# d = 2 — fast vs fast-hist is the sketch-vs-histogram tail-estimator
+# axis, and the state_bytes memory column records each configuration's
+# measurement-stream footprint. The pre-overhaul baseline
+# (scripts/bench_sim_baseline.json, captured at the PR-4 head) is
+# embedded verbatim under "baseline" so the before/after trajectory
+# travels with the file.
 #
 # Usage:  scripts/bench_sim.sh            # default 0.5s per benchmark
 #         BENCHTIME=2s scripts/bench_sim.sh
@@ -25,9 +28,20 @@ go test -run '^$' -bench 'BenchmarkSimJobs' -benchmem \
 awk '
 /^goos|^goarch|^cpu/ { meta[$1] = substr($0, index($0, $2)); next }
 /^Benchmark/ {
+    # Scan (value, unit) pairs rather than fixed positions: custom
+    # metrics (state_bytes) land between ns/op and the -benchmem columns.
     name = $1; sub(/-[0-9]+$/, "", name)
-    printf("%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"events_per_sec\":%.0f,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
-           sep, name, $2, $3, 2e9 / $3, $5, $7)
+    ns = ""; bytes = "0"; allocs = "0"; state = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op") ns = v
+        else if (u == "B/op") bytes = v
+        else if (u == "allocs/op") allocs = v
+        else if (u == "state_bytes") state = v
+    }
+    extra = (state == "") ? "" : sprintf(",\"state_bytes\":%s", state)
+    printf("%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"events_per_sec\":%.0f,\"bytes_per_op\":%s,\"allocs_per_op\":%s%s}",
+           sep, name, $2, ns, 2e9 / ns, bytes, allocs, extra)
     sep = ",\n"
 }
 END {
