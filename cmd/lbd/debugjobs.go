@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// jobSpan is the wire form of one flight-recorder span: raw timestamps in
+// nanoseconds since the farm's epoch, plus the derived stage durations the
+// reconciliation check (smoke script, tests) sums against the sojourn.
+// Wait is start − enqueued on the server's ideal work clock and may be
+// slightly negative when the work clock runs ahead of the dispatcher's
+// enqueue observation; the recorder's stage sketches clamp it, the raw
+// dump does not.
+type jobSpan struct {
+	Seq     uint64  `json:"seq"`
+	Server  int32   `json:"server"`
+	QLen    int32   `json:"qlen"`
+	Ties    int32   `json:"ties"`
+	Arrival float64 `json:"arrival_ns"`
+	Picked  float64 `json:"picked_ns"`
+	Enqueue float64 `json:"enqueued_ns"`
+	Start   float64 `json:"start_ns"`
+	Done    float64 `json:"done_ns"`
+	Wait    float64 `json:"wait_ns"`
+	Service float64 `json:"service_ns"`
+	Sojourn float64 `json:"sojourn_ns"`
+}
+
+// debugJobsHandler serves GET /debug/jobs: the most recent traced spans,
+// newest first, as JSON (default) or CSV (?format=csv). ?max=K bounds the
+// dump (default 256, capped by the ring size). 404 when tracing is off.
+func (d *daemon) debugJobsHandler(w http.ResponseWriter, r *http.Request) {
+	if d.tr == nil {
+		http.Error(w, "tracing disabled; restart with -trace N", http.StatusNotFound)
+		return
+	}
+	maxSpans := 256
+	if q := r.URL.Query().Get("max"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "max must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		maxSpans = v
+	}
+	spans := d.tr.Spans(maxSpans)
+	out := make([]jobSpan, len(spans))
+	for i, sp := range spans {
+		out[i] = jobSpan{
+			Seq: sp.Seq, Server: sp.Server, QLen: sp.QLen, Ties: sp.Ties,
+			Arrival: sp.Arrival, Picked: sp.Picked, Enqueue: sp.Enqueued,
+			Start: sp.Start, Done: sp.Done,
+			Wait:    sp.Start - sp.Enqueued,
+			Service: sp.Done - sp.Start,
+			Sojourn: sp.Done - sp.Arrival,
+		}
+	}
+
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		cw := csv.NewWriter(w)
+		_ = cw.Write([]string{"seq", "server", "qlen", "ties",
+			"arrival_ns", "picked_ns", "enqueued_ns", "start_ns", "done_ns",
+			"wait_ns", "service_ns", "sojourn_ns"})
+		f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		for _, sp := range out {
+			_ = cw.Write([]string{
+				strconv.FormatUint(sp.Seq, 10),
+				strconv.FormatInt(int64(sp.Server), 10),
+				strconv.FormatInt(int64(sp.QLen), 10),
+				strconv.FormatInt(int64(sp.Ties), 10),
+				f(sp.Arrival), f(sp.Picked), f(sp.Enqueue), f(sp.Start), f(sp.Done),
+				f(sp.Wait), f(sp.Service), f(sp.Sojourn),
+			})
+		}
+		cw.Flush()
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"sample_every": d.tr.SampleEvery(),
+		"ring_cap":     d.tr.Cap(),
+		"seen":         d.tr.Seen(),
+		"sampled":      d.tr.Sampled(),
+		"published":    d.tr.Published(),
+		"dropped":      d.tr.Dropped(),
+		"aborted":      d.tr.Aborted(),
+		"spans":        out,
+	})
+}

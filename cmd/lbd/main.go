@@ -13,7 +13,23 @@
 //	POST /work[?work=1.5]   dispatch one job (requirement drawn from the
 //	                        service law unless given); responds when done
 //	GET  /metrics           Prometheus text exposition
+//	GET  /debug/jobs        flight-recorder span dump (JSON; ?format=csv),
+//	                        404 unless -trace is on
 //	GET  /healthz           liveness
+//
+// -trace N samples one of every N jobs (a power of two; deterministic in
+// the job sequence, not the RNG) into a fixed -trace-cap ring of per-job
+// lifecycle spans: arrival → picked → enqueued → service start → done,
+// with the chosen server and the queue length the pick saw. The spans
+// feed /debug/jobs, per-stage delay histograms on /metrics
+// (lbd_trace_stage_service_times), and the lbd_trace_jobs_total
+// counters. Tracing off (the default) costs nothing on the dispatch path.
+//
+// When the configured workload is the paper's (SQ(d), exponential
+// service, homogeneous, N ≤ 16), serve mode also solves the QBD model in
+// the background at startup and exposes the analytic bracket for the
+// declared -rho as lbd_delay_predicted_{mean,p99}_{lower,upper} gauges —
+// the model line the measured mean and p99 gauges should land inside.
 //
 // SIGINT/SIGTERM stop admission, drain every queued job, and print the
 // drain stats.
@@ -55,8 +71,20 @@ import (
 
 	"finitelb"
 	"finitelb/internal/lb"
+	"finitelb/internal/trace"
 	"finitelb/internal/workload"
 )
+
+// daemon bundles the state the HTTP surface reads: the farm, the service
+// law for drawn work, the flight recorder (nil when -trace is off), and
+// the background model prediction (nil when the workload is off-model).
+type daemon struct {
+	farm *lb.LB
+	svc  workload.Service
+	seed uint64
+	tr   *trace.Recorder
+	pred *predicted
+}
 
 func main() {
 	var (
@@ -76,6 +104,8 @@ func main() {
 		dispatchers = flag.Int("dispatchers", 1, "concurrent dispatcher goroutines sharing the farm (loadgen mode)")
 		burstBatch  = flag.Int("batch", 64, "max overdue arrivals one dispatcher drains per wake-up (loadgen mode)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060); empty = off")
+		traceEvery  = flag.Int("trace", 0, "trace 1 of every N jobs into the flight recorder (rounded to a power of two; 0 = off)")
+		traceCap    = flag.Int("trace-cap", 4096, "flight-recorder ring capacity in spans (rounded to a power of two)")
 	)
 	flag.Parse()
 
@@ -108,6 +138,15 @@ func main() {
 		// finite half-width.
 		batch = max(*loadgen/(20*int64(*n)), 10)
 	}
+	var rec *trace.Recorder
+	if *traceEvery > 0 {
+		rec = trace.New(trace.Config{
+			Sample: *traceEvery,
+			Cap:    *traceCap,
+			Seed:   *seed,
+			Scale:  float64(meanService.Nanoseconds()),
+		})
+	}
 	farm, err := lb.New(lb.Config{
 		N:           *n,
 		Policy:      pol,
@@ -117,6 +156,7 @@ func main() {
 		Warmup:      *warmup,
 		BatchSize:   batch,
 		Seed:        *seed,
+		Trace:       rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -132,7 +172,13 @@ func main() {
 		}
 		return
 	}
-	serve(farm, svc, *addr, *seed)
+	serve(&daemon{
+		farm: farm,
+		svc:  svc,
+		seed: *seed,
+		tr:   rec,
+		pred: newPredicted(pol, svc, spd, *n, *rho),
+	}, *addr)
 }
 
 // servePprof runs the opt-in profiling listener. It is deliberately a
@@ -186,6 +232,10 @@ func runLoadGen(farm *lb.LB, arr workload.Arrival, svc workload.Service, pol wor
 	}
 	fmt.Printf("  p50/p95/p99/p999  %.3f / %.3f / %.3f / %.3f%s\n", s.P50, s.P95, s.P99, s.P999, clip)
 	fmt.Printf("  max queue %d, rejected %d, realized service %.3f× nominal\n", s.MaxQueue, s.Rejected, s.MeanService)
+	if tr := farm.Trace(); tr != nil {
+		fmt.Printf("  flight recorder: %d of %d jobs traced (1/%d), %d spans in ring, %d dropped, %d aborted\n",
+			tr.Sampled(), tr.Seen(), tr.SampleEvery(), tr.Published(), tr.Dropped(), tr.Aborted())
+	}
 
 	// The paper's bracket applies exactly to Poisson/exponential/SQ(d)
 	// homogeneous farms; print it when that is what just ran.
@@ -217,8 +267,9 @@ func specName(a workload.Arrival, def string) string {
 }
 
 // serve runs the HTTP front end until SIGINT/SIGTERM, then drains.
-func serve(farm *lb.LB, svc workload.Service, addr string, seed uint64) {
-	srv := &http.Server{Addr: addr, Handler: newMux(farm, svc, seed)}
+func serve(d *daemon, addr string) {
+	farm := d.farm
+	srv := &http.Server{Addr: addr, Handler: newMux(d)}
 	go func() {
 		fmt.Printf("lbd listening on %s (N=%d)\n", addr, farm.N())
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -243,8 +294,9 @@ func serve(farm *lb.LB, svc workload.Service, addr string, seed uint64) {
 }
 
 // newMux wires the HTTP surface; split out for tests.
-func newMux(farm *lb.LB, svc workload.Service, seed uint64) http.Handler {
-	drawRNG := rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d))
+func newMux(d *daemon) http.Handler {
+	farm, svc := d.farm, d.svc
+	drawRNG := rand.New(rand.NewPCG(d.seed, 0x2545f4914f6cdd1d))
 	var drawMu sync.Mutex
 	mux := http.NewServeMux()
 
@@ -284,50 +336,8 @@ func newMux(farm *lb.LB, svc workload.Service, seed uint64) http.Handler {
 		})
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		s := farm.Summary()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprintf(w, "# HELP lbd_jobs_completed_total Jobs fully served, including warmup.\n")
-		fmt.Fprintf(w, "# TYPE lbd_jobs_completed_total counter\n")
-		fmt.Fprintf(w, "lbd_jobs_completed_total %d\n", s.Completed)
-		fmt.Fprintf(w, "# HELP lbd_jobs_rejected_total Jobs refused on a full queue.\n")
-		fmt.Fprintf(w, "# TYPE lbd_jobs_rejected_total counter\n")
-		fmt.Fprintf(w, "lbd_jobs_rejected_total %d\n", s.Rejected)
-		fmt.Fprintf(w, "# HELP lbd_delay_mean_service_times Mean sojourn in mean service times (after warmup).\n")
-		fmt.Fprintf(w, "# TYPE lbd_delay_mean_service_times gauge\n")
-		fmt.Fprintf(w, "lbd_delay_mean_service_times %g\n", s.MeanDelay)
-		fmt.Fprintf(w, "# HELP lbd_delay_halfwidth_service_times 95%% batch-means CI half-width on the mean delay.\n")
-		fmt.Fprintf(w, "# TYPE lbd_delay_halfwidth_service_times gauge\n")
-		fmt.Fprintf(w, "lbd_delay_halfwidth_service_times %g\n", s.HalfWidth)
-		fmt.Fprintf(w, "# HELP lbd_delay_quantile_service_times Sojourn quantiles in mean service times.\n")
-		fmt.Fprintf(w, "# TYPE lbd_delay_quantile_service_times gauge\n")
-		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.5\"} %g\n", s.P50)
-		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.95\"} %g\n", s.P95)
-		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.99\"} %g\n", s.P99)
-		fmt.Fprintf(w, "lbd_delay_quantile_service_times{q=\"0.999\"} %g\n", s.P999)
-		// Native histogram exposition from the mergeable sketch: exact
-		// cumulative counts at log-spaced boundaries, so any Prometheus
-		// quantile/SLO query sees the same tail the Summary reports.
-		fmt.Fprintf(w, "# HELP lbd_delay_service_times Sojourn distribution in mean service times (after warmup).\n")
-		fmt.Fprintf(w, "# TYPE lbd_delay_service_times histogram\n")
-		for _, tb := range farm.Recorder().TailBuckets(32) {
-			fmt.Fprintf(w, "lbd_delay_service_times_bucket{le=\"%g\"} %d\n", tb.LE, tb.Count)
-		}
-		fmt.Fprintf(w, "lbd_delay_service_times_bucket{le=\"+Inf\"} %d\n", s.Jobs)
-		fmt.Fprintf(w, "lbd_delay_service_times_sum %g\n", s.MeanDelay*float64(s.Jobs))
-		fmt.Fprintf(w, "lbd_delay_service_times_count %d\n", s.Jobs)
-		fmt.Fprintf(w, "# HELP lbd_service_realized_ratio Realized over nominal mean service (timer fidelity gauge).\n")
-		fmt.Fprintf(w, "# TYPE lbd_service_realized_ratio gauge\n")
-		fmt.Fprintf(w, "lbd_service_realized_ratio %g\n", s.MeanService)
-		fmt.Fprintf(w, "# HELP lbd_max_queue_length Largest queue length reserved by a dispatch.\n")
-		fmt.Fprintf(w, "# TYPE lbd_max_queue_length gauge\n")
-		fmt.Fprintf(w, "lbd_max_queue_length %d\n", s.MaxQueue)
-		fmt.Fprintf(w, "# HELP lbd_queue_length Current queue length, including the job in service.\n")
-		fmt.Fprintf(w, "# TYPE lbd_queue_length gauge\n")
-		for i, l := range farm.QueueLens() {
-			fmt.Fprintf(w, "lbd_queue_length{server=\"%d\"} %d\n", i, l)
-		}
-	})
+	mux.HandleFunc("GET /metrics", d.metricsHandler)
+	mux.HandleFunc("GET /debug/jobs", d.debugJobsHandler)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")

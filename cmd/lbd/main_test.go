@@ -29,7 +29,7 @@ func testFarm(t *testing.T) *lb.LB {
 }
 
 func TestWorkEndpoint(t *testing.T) {
-	mux := newMux(testFarm(t), workload.Exponential{}, 1)
+	mux := newMux(&daemon{farm: testFarm(t), svc: workload.Exponential{}, seed: 1})
 
 	// Explicit work.
 	rec := httptest.NewRecorder()
@@ -79,7 +79,7 @@ func TestWorkEndpoint(t *testing.T) {
 
 func TestMetricsAndHealth(t *testing.T) {
 	farm := testFarm(t)
-	mux := newMux(farm, workload.Exponential{}, 1)
+	mux := newMux(&daemon{farm: farm, svc: workload.Exponential{}, seed: 1})
 	for i := 0; i < 20; i++ {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/work?work=1", nil))
@@ -146,7 +146,7 @@ func TestPprofEndpoint(t *testing.T) {
 	// The profiling mux must stay off the serve-mode mux: operators opt in
 	// with -pprof on a separate listener.
 	rec = httptest.NewRecorder()
-	newMux(testFarm(t), workload.Exponential{}, 1).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	newMux(&daemon{farm: testFarm(t), svc: workload.Exponential{}, seed: 1}).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
 	if rec.Code == 200 {
 		t.Error("serve-mode mux exposes /debug/pprof/ without -pprof")
 	}
@@ -160,7 +160,7 @@ func TestBusyFarmReturns503(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer farm.Shutdown(context.Background())
-	mux := newMux(farm, workload.Exponential{}, 1)
+	mux := newMux(&daemon{farm: farm, svc: workload.Exponential{}, seed: 1})
 
 	// Occupy the single queue slot with a long fire-and-forget job; the
 	// next request must bounce with 503.

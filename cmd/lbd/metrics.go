@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/metrics"
+	"strconv"
+
+	"finitelb/internal/stats"
+)
+
+// runtimeSamples is the fixed runtime/metrics read set behind the
+// lbd_go_* gauges: GC pressure and scheduler health, the two host-side
+// effects that corrupt a calibration run before they show in the delay
+// numbers themselves.
+var runtimeSamples = []string{
+	"/gc/cycles/total:gc-cycles",
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/sched/latencies:seconds",
+	"/gc/pauses:seconds",
+}
+
+// metricsHandler renders the whole exposition through promWriter, so every
+// family carries HELP/TYPE and every label value is escaped by
+// construction (see prom.go and the conformance test).
+func (d *daemon) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	s := d.farm.Summary()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := newPromWriter(w)
+
+	p.Family("lbd_jobs_completed_total", "counter", "Jobs fully served, including warmup.")
+	p.Sample("", nil, "%d", s.Completed)
+	p.Family("lbd_jobs_rejected_total", "counter", "Jobs refused on a full queue.")
+	p.Sample("", nil, "%d", s.Rejected)
+	p.Family("lbd_delay_mean_service_times", "gauge", "Mean sojourn in mean service times (after warmup).")
+	p.Sample("", nil, "%g", s.MeanDelay)
+	p.Family("lbd_delay_halfwidth_service_times", "gauge", "95% batch-means CI half-width on the mean delay.")
+	p.Sample("", nil, "%g", s.HalfWidth)
+	p.Family("lbd_delay_quantile_service_times", "gauge", "Sojourn quantiles in mean service times.")
+	for _, q := range []struct {
+		l string
+		v float64
+	}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}, {"0.999", s.P999}} {
+		p.Sample("", []label{{"q", q.l}}, "%g", q.v)
+	}
+	// Native histogram exposition from the mergeable sketch: exact
+	// cumulative counts at log-spaced boundaries, so any Prometheus
+	// quantile/SLO query sees the same tail the Summary reports.
+	p.Family("lbd_delay_service_times", "histogram", "Sojourn distribution in mean service times (after warmup).")
+	for _, tb := range d.farm.Recorder().TailBuckets(32) {
+		p.Sample("_bucket", []label{{"le", fmt.Sprintf("%g", tb.LE)}}, "%d", tb.Count)
+	}
+	p.Sample("_bucket", []label{{"le", "+Inf"}}, "%d", s.Jobs)
+	p.Sample("_sum", nil, "%g", s.MeanDelay*float64(s.Jobs))
+	p.Sample("_count", nil, "%d", s.Jobs)
+	p.Family("lbd_service_realized_ratio", "gauge", "Realized over nominal mean service (timer fidelity gauge).")
+	p.Sample("", nil, "%g", s.MeanService)
+	p.Family("lbd_max_queue_length", "gauge", "Largest queue length reserved by a dispatch.")
+	p.Sample("", nil, "%d", s.MaxQueue)
+	p.Family("lbd_queue_length", "gauge", "Current queue length, including the job in service.")
+	for i, l := range d.farm.QueueLens() {
+		p.Sample("", []label{{"server", strconv.Itoa(i)}}, "%d", l)
+	}
+
+	if d.tr != nil {
+		d.traceMetrics(p)
+	}
+	if d.pred != nil {
+		predictedMetrics(p, d.pred)
+	}
+	runtimeMetrics(p)
+	if err := p.Err(); err != nil {
+		// A construction bug; the conformance test keeps this unreachable.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// traceMetrics exposes the flight recorder: lifecycle counters and the
+// per-stage delay sketches as log-bucketed histograms (stage ∈ pick |
+// wait | service, durations in mean service times).
+func (d *daemon) traceMetrics(p *promWriter) {
+	p.Family("lbd_trace_jobs_total", "counter", "Jobs observed by the flight recorder, by outcome (seen counts every arrival; sampled/published/dropped/aborted count traced spans).")
+	for _, c := range []struct {
+		l string
+		v uint64
+	}{
+		{"seen", d.tr.Seen()},
+		{"sampled", d.tr.Sampled()},
+		{"published", d.tr.Published()},
+		{"dropped", d.tr.Dropped()},
+		{"aborted", d.tr.Aborted()},
+	} {
+		p.Sample("", []label{{"outcome", c.l}}, "%d", c.v)
+	}
+	p.Family("lbd_trace_sample_every", "gauge", "Deterministic sampling period: 1 of every N jobs is traced.")
+	p.Sample("", nil, "%d", d.tr.SampleEvery())
+
+	st := d.tr.Stages()
+	p.Family("lbd_trace_stage_service_times", "histogram", "Per-stage delay of traced jobs in mean service times (stage = pick | wait | service).")
+	for _, sk := range []struct {
+		stage  string
+		sketch *stats.Sketch
+		sum    float64
+	}{
+		{"pick", st.Pick, st.PickSum},
+		{"wait", st.Wait, st.WaitSum},
+		{"service", st.Service, st.ServiceSum},
+	} {
+		for _, tb := range sk.sketch.CumulativeBuckets(24) {
+			p.Sample("_bucket", []label{{"stage", sk.stage}, {"le", fmt.Sprintf("%g", tb.LE)}}, "%d", tb.Count)
+		}
+		p.Sample("_bucket", []label{{"stage", sk.stage}, {"le", "+Inf"}}, "%d", sk.sketch.N())
+		p.Sample("_sum", []label{{"stage", sk.stage}}, "%g", sk.sum)
+		p.Sample("_count", []label{{"stage", sk.stage}}, "%d", sk.sketch.N())
+	}
+}
+
+// predictedMetrics exposes the startup QBD solve: the paper's bracket on
+// the mean delay and (empirically validated) on the p99, in mean service
+// times, for the declared (N, d, ρ) operating point.
+func predictedMetrics(p *promWriter, pr *predicted) {
+	snap, ready := pr.snapshot()
+	p.Family("lbd_delay_predicted_ready", "gauge", "1 once the startup QBD solve finished (0 while running; the value gauges appear only on success).")
+	if !ready {
+		p.Sample("", nil, "%d", 0)
+		return
+	}
+	p.Sample("", nil, "%d", 1)
+	if snap.failed != "" {
+		return
+	}
+	p.Family("lbd_delay_predicted_threshold", "gauge", "Truncation threshold T of the QBD bracket solve.")
+	p.Sample("", nil, "%d", snap.t)
+	p.Family("lbd_delay_predicted_mean_lower", "gauge", "Model-predicted lower bound on the mean delay (service times; Theorem 1).")
+	p.Sample("", nil, "%g", snap.meanLo)
+	p.Family("lbd_delay_predicted_mean_upper", "gauge", "Model-predicted upper bound on the mean delay (service times; Theorem 1).")
+	p.Sample("", nil, "%g", snap.meanHi)
+	if snap.tailP99 {
+		p.Family("lbd_delay_predicted_p99_lower", "gauge", "Lower side of the model's p99 sojourn bracket (service times; empirical transfer of the mean bracket).")
+		p.Sample("", nil, "%g", snap.p99Lo)
+		p.Family("lbd_delay_predicted_p99_upper", "gauge", "Upper side of the model's p99 sojourn bracket (service times; empirical transfer of the mean bracket).")
+		p.Sample("", nil, "%g", snap.p99Hi)
+	}
+}
+
+// runtimeMetrics exposes the Go runtime's GC and scheduler health.
+func runtimeMetrics(p *promWriter) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	byName := map[string]metrics.Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	if s := byName["/gc/cycles/total:gc-cycles"]; s.Value.Kind() == metrics.KindUint64 {
+		p.Family("lbd_go_gc_cycles_total", "counter", "Completed GC cycles.")
+		p.Sample("", nil, "%d", s.Value.Uint64())
+	}
+	if s := byName["/memory/classes/heap/objects:bytes"]; s.Value.Kind() == metrics.KindUint64 {
+		p.Family("lbd_go_heap_objects_bytes", "gauge", "Bytes of live plus unswept heap objects.")
+		p.Sample("", nil, "%d", s.Value.Uint64())
+	}
+	if s := byName["/sched/goroutines:goroutines"]; s.Value.Kind() == metrics.KindUint64 {
+		p.Family("lbd_go_goroutines", "gauge", "Live goroutines.")
+		p.Sample("", nil, "%d", s.Value.Uint64())
+	}
+	if s := byName["/sched/latencies:seconds"]; s.Value.Kind() == metrics.KindFloat64Histogram {
+		h := s.Value.Float64Histogram()
+		p.Family("lbd_go_sched_latency_seconds", "gauge", "Goroutine scheduling latency quantiles since process start.")
+		p.Sample("", []label{{"q", "0.5"}}, "%g", histQuantile(h, 0.5))
+		p.Sample("", []label{{"q", "0.99"}}, "%g", histQuantile(h, 0.99))
+	}
+	if s := byName["/gc/pauses:seconds"]; s.Value.Kind() == metrics.KindFloat64Histogram {
+		h := s.Value.Float64Histogram()
+		p.Family("lbd_go_gc_pause_seconds", "gauge", "GC stop-the-world pause quantiles since process start.")
+		p.Sample("", []label{{"q", "0.5"}}, "%g", histQuantile(h, 0.5))
+		p.Sample("", []label{{"q", "0.99"}}, "%g", histQuantile(h, 0.99))
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"strings"
+)
+
+// promWriter emits Prometheus text exposition (format 0.0.4) with the
+// conformance rules enforced by construction rather than by discipline:
+// every sample belongs to the family declared immediately before it, each
+// family's HELP and TYPE are written exactly once and always ahead of its
+// samples, and every label value passes through the official escaping
+// (backslash, double quote, newline). The /metrics handler is built
+// entirely on this writer, so adding a series cannot silently produce a
+// family without metadata.
+type promWriter struct {
+	w        io.Writer
+	declared map[string]string // family name → type, to reject re-declares
+	family   string            // family currently accepting samples
+	typ      string
+	err      error
+}
+
+func newPromWriter(w io.Writer) *promWriter {
+	return &promWriter{w: w, declared: map[string]string{}}
+}
+
+// Family declares a metric family (counter, gauge, or histogram), writing
+// its HELP and TYPE lines. Samples that follow belong to it until the next
+// Family call. Re-declaring a family is a programming error.
+func (p *promWriter) Family(name, typ, help string) {
+	if p.err != nil {
+		return
+	}
+	if _, dup := p.declared[name]; dup {
+		p.err = fmt.Errorf("metric family %q declared twice", name)
+		return
+	}
+	p.declared[name] = typ
+	p.family, p.typ = name, typ
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// label is one name/value pair; values are escaped on output.
+type label struct{ k, v string }
+
+// Sample writes one sample of the current family. suffix must be "" for
+// counters and gauges, and one of "_bucket", "_sum", "_count" for
+// histograms; anything else is a construction error.
+func (p *promWriter) Sample(suffix string, labels []label, format string, v any) {
+	if p.err != nil {
+		return
+	}
+	if p.family == "" {
+		p.err = fmt.Errorf("sample with suffix %q before any Family declaration", suffix)
+		return
+	}
+	switch p.typ {
+	case "histogram":
+		if suffix != "_bucket" && suffix != "_sum" && suffix != "_count" {
+			p.err = fmt.Errorf("histogram family %q got sample suffix %q", p.family, suffix)
+			return
+		}
+	default:
+		if suffix != "" {
+			p.err = fmt.Errorf("%s family %q got suffixed sample %q", p.typ, p.family, suffix)
+			return
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(p.family)
+	sb.WriteString(suffix)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.k)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.v))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s "+format+"\n", sb.String(), v)
+}
+
+// Err reports the first construction error (a bug in the handler, caught
+// by the conformance test, never by a scrape in production).
+func (p *promWriter) Err() error { return p.err }
+
+// escapeLabel applies the text-exposition escaping for label values:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+// escapeHelp applies the HELP-line escaping: backslash and newline (quotes
+// are legal there).
+func escapeHelp(v string) string {
+	return helpEscaper.Replace(v)
+}
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+// histQuantile reads the q-quantile out of a runtime/metrics histogram
+// (cumulative interpolation on the bucket midpoints; ±Inf buckets clamp to
+// their finite neighbor).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			switch {
+			case math.IsInf(lo, -1):
+				return hi
+			case math.IsInf(hi, 1):
+				return lo
+			default:
+				return (lo + hi) / 2
+			}
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

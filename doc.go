@@ -289,6 +289,55 @@
 // //finitelb:hotpath-annotated, finitelint-clean, and covered by
 // TestAllocFreeEventPath.
 //
+// # Tracing the job lifecycle
+//
+// Aggregates answer "how is the system doing"; the flight recorder
+// answers "what happened to that job". internal/trace records a span per
+// sampled job — arrival, pick, enqueue, service start, completion, plus
+// the chosen server, the queue length the picker saw, and how many
+// servers tied for the minimum — through five ordered stage calls
+// (Start/Picked/Enqueued/Started/Done, Abort for rejected jobs). Spans
+// live in a fixed-capacity lock-free ring (default 4096) that overwrites
+// oldest-first, so memory is bounded no matter how long the process
+// runs; sampling is deterministic (every k-th arrival in sequence order,
+// not coin flips), so two runs at the same seed trace the same jobs and
+// a sim trace is reproducible evidence, not an anecdote.
+//
+// Both simulator event loops and the live dispatch path carry the hooks.
+// The contract is the same on both sides: trace off means bit-identical
+// draws and 0 allocs/event (the sim goldens and
+// TestAllocFreeEventPathTraced pin it; the recorder itself is
+// hotpath-annotated with 0 allocs/span, guarded by
+// TestAllocFreeRecording), so tracing can ship enabled-by-flag without a
+// standing tax. cmd/lbd surfaces the recording three ways: GET
+// /debug/jobs returns the most recent spans as JSON (or
+// ?format=csv for spreadsheet triage) with per-stage timestamps and
+// derived wait/service/sojourn durations; /metrics exports per-stage
+// latency histograms (lbd_trace_stage_service_times{stage=pick|wait|
+// service}, in service-time units via the recorder's Scale) plus
+// seen/sampled/published/dropped/aborted counters; and lbd_go_* gauges
+// read the Go runtime's own telemetry (runtime/metrics: GC cycles and
+// pauses, heap bytes, goroutines, scheduler latency quantiles) so host
+// noise is visible next to the queueing signal it pollutes.
+//
+// The same scrape closes the predicted-vs-measured loop (ROADMAP item
+// 4): when the serve-mode configuration is inside the analytic model's
+// reach (SQ(d), exponential service, homogeneous speeds, N ≤ 16), lbd
+// solves the QBD bracket for its own (N, d, ρ) at startup — walking the
+// threshold T up while the block size stays affordable — and exports
+// lbd_delay_predicted_{mean,p99}_{lower,upper} gauges beside the
+// measured lbd_delay_* series, with lbd_delay_predicted_ready flagging
+// solver completion. The p99 bracket comes from
+// finitelb.DelayDistributionBracket: the arrival-join-level distribution
+// extracted from each bound chain's stationary vector (PASTA over the
+// tie-group arrival rates, internal/qbd.JoinDistribution) feeds an
+// Erlang mixture for the sojourn law. The mean bracket inherits the
+// paper's Theorem 1 ordering; the quantile bracket is an empirical
+// transfer of it — see the DelayBracket doc comment for the honest
+// caveat. One Grafana panel showing measured p99 (α = 1% sketch error)
+// tracking between two model-derived lines is the repository's thesis
+// as a dashboard.
+//
 // # Machine-checked invariants
 //
 // The properties the headline results rest on are encoded as static

@@ -1,0 +1,82 @@
+// Flightrecorder demonstrates per-job lifecycle tracing (doc.go "Tracing
+// the job lifecycle"): the same simulation run twice, with and without a
+// trace.Recorder wired into the event loop, proving the flight recorder's
+// two contracts — the traced run is bit-identical to the untraced one
+// (tracing never consumes a simulation draw), and the recorder turns the
+// aggregate mean sojourn into a per-stage decomposition (pick + wait +
+// service) plus concrete per-job evidence: which server each sampled job
+// went to, the queue it saw, and how long each lifecycle stage took.
+//
+// The live counterpart is cmd/lbd: `lbd -trace 4` wires the same recorder
+// into the dispatch path and serves the spans at GET /debug/jobs
+// (JSON or ?format=csv) with per-stage Prometheus histograms on /metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finitelb/internal/sim"
+	"finitelb/internal/sqd"
+	"finitelb/internal/trace"
+)
+
+func main() {
+	p := sqd.Params{N: 8, D: 2, Rho: 0.9}
+	opts := sim.Options{Jobs: 200_000, Seed: 7}
+
+	// Baseline: no recorder.
+	plain, err := sim.Run(p, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Same run, flight recorder attached: every 4th job gets a span in a
+	// 1024-slot ring. Model time is already in mean-service-time units,
+	// so Scale is 1.
+	rec := trace.New(trace.Config{Sample: 4, Cap: 1024, Seed: opts.Seed, Scale: 1})
+	opts.Trace = rec
+	traced, err := sim.Run(p, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SQ(%d), N=%d, ρ=%.2f, %d jobs\n\n", p.D, p.N, p.Rho, plain.Jobs)
+	fmt.Printf("untraced: %v\n", plain)
+	fmt.Printf("traced:   %v\n", traced)
+	if plain != traced {
+		log.Fatal("traced run diverged from untraced — bit-identity broken")
+	}
+	fmt.Println("bit-identical: tracing consumed no simulation draws")
+
+	// The aggregate, decomposed: where does the sojourn go?
+	st := rec.Stages()
+	fmt.Printf("\nstage decomposition over %d sampled jobs (service-time units):\n", st.N)
+	fmt.Printf("  %-8s %10s %10s %10s\n", "stage", "mean", "p50", "p99")
+	for _, row := range []struct {
+		name string
+		sum  float64
+		q    interface{ Quantile(float64) float64 }
+	}{
+		{"pick", st.PickSum, st.Pick},
+		{"wait", st.WaitSum, st.Wait},
+		{"service", st.ServiceSum, st.Service},
+	} {
+		fmt.Printf("  %-8s %10.4f %10.4f %10.4f\n",
+			row.name, row.sum/float64(st.N), row.q.Quantile(0.5), row.q.Quantile(0.99))
+	}
+	fmt.Printf("  %-8s %10.4f   (pick+wait+service ≈ mean sojourn %.4f)\n",
+		"total", (st.PickSum+st.WaitSum+st.ServiceSum)/float64(st.N), traced.MeanDelay)
+
+	// The evidence: the most recent spans in the ring.
+	spans := rec.Spans(6)
+	fmt.Printf("\nlast %d sampled jobs (of %d seen, %d sampled, ring keeps %d):\n",
+		len(spans), rec.Seen(), rec.Sampled(), rec.Cap())
+	fmt.Printf("  %8s %6s %5s %5s %9s %9s %9s\n",
+		"seq", "server", "qlen", "ties", "wait", "service", "sojourn")
+	for _, sp := range spans {
+		fmt.Printf("  %8d %6d %5d %5d %9.4f %9.4f %9.4f\n",
+			sp.Seq, sp.Server, sp.QLen, sp.Ties,
+			sp.Start-sp.Enqueued, sp.Done-sp.Start, sp.Done-sp.Arrival)
+	}
+}

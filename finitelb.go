@@ -287,6 +287,68 @@ func (s *System) ExactDistribution(cap int) (ExactResult, *DelayDistribution, er
 	return er, &DelayDistribution{d: dist}, nil
 }
 
+// DelayBracket brackets the stationary sojourn-time law of SQ(d) between
+// the Erlang mixtures induced by the two bound chains' arrival-join
+// distributions (qbd.JoinDistribution): each side is Σ_k w[k]·Erlang(k+1, 1)
+// with w the probability an arrival joins a queue holding k jobs in that
+// bound model.
+//
+// Honesty note: the paper's Theorem 1 orders the *mean* delays of the three
+// chains; the quantile bracket below is the natural distributional transfer
+// and carries no precedence proof. Empirically (package tests,
+// internal/lb/calibrate_test.go) the exact chain's quantiles fall inside
+// [Lower, Upper] up to a sub-0.1% crossing of the lower side at small T
+// that shrinks as T grows; both sides converge to the exact law.
+type DelayBracket struct {
+	lower, upper *markov.Distribution
+}
+
+// Tail returns the two models' P(sojourn > t), t in service times.
+func (b *DelayBracket) Tail(t float64) (lower, upper float64) {
+	return b.lower.DelayTail(t), b.upper.DelayTail(t)
+}
+
+// Quantile returns the two models' q-quantiles of the sojourn time.
+func (b *DelayBracket) Quantile(q float64) (lower, upper float64) {
+	return b.lower.Quantile(q, 1e-9), b.upper.Quantile(q, 1e-9)
+}
+
+// Mean returns the two mixtures' mean sojourns. These are the Erlang-mixture
+// means, not the theorem-backed mean bounds — use DelayBounds for those.
+func (b *DelayBracket) Mean() (lower, upper float64) {
+	return b.lower.MeanDelay(), b.upper.MeanDelay()
+}
+
+// DelayDistributionBracket solves both bound chains with threshold T and
+// returns the distributional bracket. The lower side uses the full
+// matrix-geometric pipeline (not Theorem 3's scalar shortcut) so the join
+// distribution is that of the actual lower-bound chain. Returns ErrUnstable
+// (wrapped) when the upper-bound chain is unstable at this (ρ, T).
+func (s *System) DelayDistributionBracket(t int) (*DelayBracket, error) {
+	lbModel := &sqd.LowerBound{P: sqd.BoundParams{Params: s.p, T: t}}
+	lbSol, err := qbd.Solve(lbModel, qbd.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("finitelb: delay bracket lower: %w", err)
+	}
+	wLo, err := lbSol.JoinDistribution()
+	if err != nil {
+		return nil, fmt.Errorf("finitelb: delay bracket lower: %w", err)
+	}
+	ubModel := &sqd.UpperBound{P: sqd.BoundParams{Params: s.p, T: t}}
+	ubSol, err := qbd.Solve(ubModel, qbd.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("finitelb: delay bracket upper with T=%d: %w", t, err)
+	}
+	wHi, err := ubSol.JoinDistribution()
+	if err != nil {
+		return nil, fmt.Errorf("finitelb: delay bracket upper: %w", err)
+	}
+	return &DelayBracket{
+		lower: &markov.Distribution{Selected: wLo},
+		upper: &markov.Distribution{Selected: wHi},
+	}, nil
+}
+
 // AsymptoticQueueTail returns Mitzenmacher's fixed point s_k — the N → ∞
 // fraction of servers with at least k jobs, ρ^{(dᵏ−1)/(d−1)}.
 func AsymptoticQueueTail(d int, rho float64, k int) float64 {

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"finitelb/internal/minindex"
+	"finitelb/internal/trace"
 	"finitelb/internal/workload"
 )
 
@@ -79,6 +80,15 @@ type Config struct {
 	// nondeterministic; the seed only decorrelates sampling choices.
 	// Default 1.
 	Seed uint64
+	// Trace, when non-nil, attaches a flight recorder: sampled jobs get
+	// lifecycle spans (arrival → pick → enqueue → service start →
+	// completion, with the chosen server and the queue length seen) and
+	// per-stage delay sketches. Timestamps are nanoseconds relative to
+	// the farm's start; build the recorder with Scale set to
+	// MeanService's nanoseconds to read the stage sketches in
+	// service-time units. Tracing costs one extra clock read per
+	// *sampled* job on the dispatch path and zero allocations.
+	Trace *trace.Recorder
 }
 
 func (c *Config) setDefaults() error {
@@ -130,7 +140,23 @@ type job struct {
 	arrival time.Time
 	done    chan<- Done   // nil for fire-and-forget
 	counted *atomic.Int64 // bumped at completion; lets a submitter await its own jobs
+	// trace is the job's flight-recorder handle; meaningful only when
+	// the farm has a recorder attached (always assigned then, mostly
+	// trace.None). Ownership of the span follows the job: the dispatcher
+	// writes up to Enqueued, the server writes Start/Done — the channel
+	// send is the hand-off.
+	trace trace.Handle
 }
+
+// rel converts a wall-clock instant to the recorder's timestamp unit:
+// float64 nanoseconds since the farm's epoch (exact to well past a
+// hundred days of uptime).
+//
+//finitelb:hotpath
+func (lb *LB) rel(t time.Time) float64 { return float64(t.Sub(lb.epoch)) }
+
+// Trace returns the attached flight recorder (nil when tracing is off).
+func (lb *LB) Trace() *trace.Recorder { return lb.tr }
 
 // LB is the live dispatcher runtime. Create with New, feed with Dispatch
 // or Do (safe for arbitrary concurrent callers), stop with Shutdown.
@@ -146,6 +172,8 @@ type LB struct {
 	servers []*server
 	rec     *Recorder
 	sleep   *sleeper
+	tr      *trace.Recorder // nil = tracing off
+	epoch   time.Time       // zero point of trace timestamps
 
 	// Hierarchical min-indexes over the slot table (nil below
 	// minindex.Threshold, or when the policy doesn't dispatch on a global
@@ -266,6 +294,8 @@ func New(cfg Config) (*LB, error) {
 		slots:         newTable(cfg.N),
 		rec:           newRecorder(cfg.N, cfg.MeanService, cfg.Warmup, cfg.BatchSize),
 		sleep:         newSleeper(),
+		tr:            cfg.Trace,
+		epoch:         time.Now(),
 	}
 	_, lb.jiq = cfg.Policy.(workload.JIQ)
 	_, lb.workAware = cfg.Policy.(workload.WorkAware)
@@ -407,6 +437,9 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 	if !ok {
 		return target, ErrQueueFull
 	}
+	if j.trace >= 0 {
+		lb.tr.Enqueued(j.trace, lb.rel(time.Now()))
+	}
 	// Cannot block: qlen ≤ QueueCap bounds channel occupancy by the
 	// channel's own capacity (an envelope never carries more jobs than
 	// queue reservations).
@@ -422,6 +455,10 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 // unwinding. The caller owns the channel send.
 //finitelb:hotpath
 func (lb *LB) admit(d *dispatcher, arrival time.Time, work float64, done chan<- Done, counted *atomic.Int64) (job, int, bool) {
+	th := trace.None
+	if lb.tr != nil {
+		th = lb.tr.Start(lb.rel(arrival))
+	}
 	var target int
 	if lb.jiq {
 		// JIQ fast path: pop an idle hint in O(1); fall back to a uniform
@@ -442,13 +479,21 @@ func (lb *LB) admit(d *dispatcher, arrival time.Time, work float64, done chan<- 
 		// so there is nothing to repair.
 		s.qlen.Add(-1)
 		lb.rejected.Add(1)
+		if lb.tr != nil {
+			lb.tr.Abort(th)
+		}
 		return job{}, target, false
 	}
 	if lb.lenTree != nil {
 		lb.lenTree.Update(target)
 	}
 	lb.rec.observeQueue(int(newLen))
-	j := job{work: work, arrival: arrival, done: done, counted: counted}
+	j := job{work: work, arrival: arrival, done: done, counted: counted, trace: th}
+	if th >= 0 {
+		// One clock read per sampled job; live pickers don't report tie
+		// counts (the simulator's side of the recorder does).
+		lb.tr.Picked(th, lb.rel(time.Now()), target, int(newLen-1), -1)
+	}
 	if lb.workAware {
 		j.workNs = int64(work * lb.meanServiceNs)
 		s.pending.Add(j.workNs)
@@ -536,6 +581,9 @@ func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.In
 			}
 		}
 		if group == 1 {
+			if h := sc.jobs[i].trace; h >= 0 {
+				lb.tr.Enqueued(h, lb.rel(time.Now()))
+			}
 			lb.servers[t].ch <- envelope{j: sc.jobs[i]}
 			continue
 		}
@@ -547,6 +595,13 @@ func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.In
 				//lint:allow hotpath pooled buffer reaches Batch capacity after warmup and stops growing
 				*buf = append(*buf, sc.jobs[j])
 				sc.targets[j] = -1
+			}
+		}
+		if lb.tr != nil {
+			for _, bj := range *buf {
+				if bj.trace >= 0 {
+					lb.tr.Enqueued(bj.trace, lb.rel(time.Now()))
+				}
 			}
 		}
 		lb.servers[t].ch <- envelope{batch: buf}

@@ -68,6 +68,11 @@ func (s *server) serve(lb *LB, slot *slot, busyUntil time.Time, j job) time.Time
 	}
 	dur := time.Duration(j.work / s.speed * lb.meanServiceNs)
 	deadline := start.Add(dur)
+	if j.trace >= 0 {
+		// start is the work-clock (ideal-schedule) instant — it can
+		// precede the Enqueued observation; see trace.Recorder.observe.
+		lb.tr.Started(j.trace, lb.rel(start))
+	}
 	if lb.workAware {
 		// The job leaves the queued-work ledger and becomes the
 		// in-service remainder the LWL view reads from deadline.
@@ -96,6 +101,9 @@ func (s *server) serve(lb *LB, slot *slot, busyUntil time.Time, j job) time.Time
 	}
 	end := time.Now()
 	lb.rec.record(s.id, end.Sub(j.arrival), end.Sub(start))
+	if j.trace >= 0 {
+		lb.tr.Done(j.trace, lb.rel(end))
+	}
 	if j.counted != nil {
 		j.counted.Add(1)
 	}

@@ -62,6 +62,7 @@ var deterministicPkgs = map[string]bool{
 	"finitelb/internal/sqd":        true,
 	"finitelb/internal/statespace": true,
 	"finitelb/internal/stats":      true,
+	"finitelb/internal/trace":      true,
 	"finitelb/internal/workload":   true,
 }
 

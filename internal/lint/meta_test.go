@@ -47,6 +47,10 @@ func TestHotPathCoversAllocFreeEventPath(t *testing.T) {
 		// The live dispatch path carries the same guarantee per event.
 		"lb/lb.go":        {"submit", "submitAt", "admit", "submitBurst", "Len", "Work", "ArgminLen", "ArgminWork"},
 		"lb/idlestack.go": {"push", "tryPop"},
+		// The flight recorder rides the same event paths when tracing is
+		// on (TestAllocFreeEventPathTraced pins the trace-on floor).
+		"trace/trace.go": {"hit", "Start", "Picked", "Enqueued", "Started", "Done", "Abort", "publish", "observe"},
+		"sim/trace.go":   {"onArrival", "onDeparture"},
 	}
 
 	for rel, funcs := range required {

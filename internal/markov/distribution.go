@@ -101,7 +101,7 @@ func ExactDistribution(p sqd.Params, ix *statespace.Index, pi []float64) *Distri
 		// Selected-queue distribution: an arrival joins tie group g with
 		// probability (group arrival rate)/λN, finding g.Level jobs there.
 		for _, g := range m.Groups() {
-			if r := arrivalRateFor(p, g); r > 0 {
+			if r := sqd.ArrivalRate(p, g); r > 0 {
 				d.Selected[g.Level] += prob * r / lamN
 			}
 		}
@@ -113,17 +113,6 @@ func ExactDistribution(p sqd.Params, ix *statespace.Index, pi []float64) *Distri
 		}
 	}
 	return d
-}
-
-// arrivalRateFor mirrors the sqd arrival rate for one tie group; kept here
-// (rather than exported from sqd) because only the distribution extraction
-// needs the per-group rate outside the transition lists.
-func arrivalRateFor(p sqd.Params, g statespace.Group) float64 {
-	num := statespace.Binomial(g.End+1, p.D) - statespace.Binomial(g.Start, p.D)
-	if num <= 0 {
-		return 0
-	}
-	return p.TotalArrivalRate() * num / statespace.Binomial(p.N, p.D)
 }
 
 // SolveExactDistribution runs SolveExact and extracts the distributional

@@ -1,0 +1,134 @@
+package qbd
+
+import (
+	"math"
+	"testing"
+
+	"finitelb/internal/markov"
+	"finitelb/internal/mat"
+	"finitelb/internal/sqd"
+	"finitelb/internal/statespace"
+)
+
+// TestJoinDistributionMM1: with N=1 both bound models are plain M/M/1
+// (the truncated space is the whole space), so the arrival-join
+// distribution is the geometric queue-length law (1−ρ)ρᵏ by PASTA.
+func TestJoinDistributionMM1(t *testing.T) {
+	const rho = 0.8
+	for _, tc := range []struct {
+		name  string
+		model BoundModel
+		opts  Options
+	}{
+		{"lower", lbModel(1, 1, rho, 2), Options{}},
+		{"lower improved", lbModel(1, 1, rho, 2), Options{ImprovedLB: true}},
+		{"upper", ubModel(1, 1, rho, 2), Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := Solve(tc.model, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := sol.JoinDistribution()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k <= 12 && k < len(w); k++ {
+				want := (1 - rho) * math.Pow(rho, float64(k))
+				if math.Abs(w[k]-want) > 1e-8 {
+					t.Errorf("w[%d] = %v, want (1−ρ)ρᵏ = %v", k, w[k], want)
+				}
+			}
+		})
+	}
+}
+
+// TestJoinDistributionMatchesBruteForce: the block walk (boundary + B0
+// explicit, geometric B1 levels) must agree with accumulating join terms
+// over a direct stationary solve of the same truncated chain.
+func TestJoinDistributionMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		lower bool
+		model BoundModel
+		opts  Options
+	}{
+		{"lower", true, lbModel(3, 2, 0.8, 2), Options{}},
+		{"upper", false, ubModel(3, 2, 0.6, 2), Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := Solve(tc.model, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sol.JoinDistribution()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := tc.model.Bound()
+			states := statespace.EnumTruncated(p.N, p.T, 200)
+			brute, err := markov.SolveTruncated(tc.model, states, 1e-13, 400000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]float64, len(got))
+			for i, prob := range brute.Pi {
+				for _, jt := range joinTerms(p, tc.lower, states[i]) {
+					if jt.Level < len(want) {
+						want[jt.Level] += prob * jt.W
+					}
+				}
+			}
+			for k := range want {
+				if math.Abs(got[k]-want[k]) > 1e-7 {
+					t.Errorf("w[%d] = %v, brute force = %v", k, got[k], want[k])
+				}
+			}
+		})
+	}
+}
+
+// TestJoinDistributionNormalized: the weights must form a probability
+// distribution, and its mean (joined level + own service) must be within
+// numerical reach of the solve's mean-jobs scale.
+func TestJoinDistributionNormalized(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		model BoundModel
+		opts  Options
+	}{
+		{"lower", lbModel(4, 2, 0.9, 3), Options{}},
+		{"lower improved", lbModel(4, 2, 0.9, 3), Options{ImprovedLB: true}},
+		{"upper", ubModel(4, 2, 0.9, 5), Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := Solve(tc.model, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := sol.JoinDistribution()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s := mat.VecSum(w); math.Abs(s-1) > 1e-12 {
+				t.Errorf("Σw = %v, want 1", s)
+			}
+			for k, v := range w {
+				if v < 0 {
+					t.Errorf("w[%d] = %v < 0", k, v)
+				}
+			}
+		})
+	}
+}
+
+// TestJoinDistributionRequiresModel: a Solution not produced by Solve (no
+// recorded model) must fail loudly, not silently pick a redirect rule.
+func TestJoinDistributionRequiresModel(t *testing.T) {
+	var bare Solution
+	if _, err := bare.JoinDistribution(); err == nil {
+		t.Error("join distribution on a model-less solution accepted")
+	}
+}
+
+var _ = sqd.Params{} // joinTerms' signature keeps the import live

@@ -11,6 +11,7 @@ import (
 // Solution is the stationary solution of a bound model.
 type Solution struct {
 	Blocks *Blocks
+	model  BoundModel // the solved model; drives JoinDistribution's redirects
 
 	PiBoundary []float64 // stationary mass of the boundary states
 	Pi0, Pi1   []float64 // stationary mass of blocks B0 and B1
@@ -55,7 +56,7 @@ func Solve(model BoundModel, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol := &Solution{Blocks: b}
+	sol := &Solution{Blocks: b, model: model}
 
 	sol.DriftUp, sol.DriftDown, err = Drift(b.A0, b.A1, b.A2)
 	if err != nil {

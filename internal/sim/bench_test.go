@@ -7,6 +7,7 @@ import (
 
 	"finitelb/internal/minindex"
 	"finitelb/internal/sqd"
+	"finitelb/internal/trace"
 	"finitelb/internal/workload"
 )
 
@@ -93,6 +94,38 @@ func BenchmarkSimJobs(b *testing.B) {
 				b.ReportMetric(float64(res.StateBytes()), "state_bytes")
 			})
 		}
+	}
+}
+
+// BenchmarkSimJobsTraced prices the flight recorder on the default
+// wiring at N=250: trace-off is BenchmarkSimJobs/fast/N=250 (the
+// recorder branch is a nil check there, so those two must sit within
+// noise of each other), sample=1024 is the production setting, and
+// sample=1 the worst case — every job pays the span writes and the
+// three stage-sketch observations. Allocs stay 0 at any rate (ring,
+// pending table, and sketches are preallocated); CI runs this at
+// -benchtime 1x as the trace-overhead sanity.
+func BenchmarkSimJobsTraced(b *testing.B) {
+	for _, every := range []int{1024, 1} {
+		b.Run(fmt.Sprintf("sample=%d/N=250", every), func(b *testing.B) {
+			p := sqd.Params{N: 250, D: 2, Rho: 0.9}
+			opts := Options{Jobs: int64(b.N), Warmup: 1, Seed: 1}
+			opts.setDefaults()
+			w, err := resolve(p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := trace.New(trace.Config{Sample: every, Cap: 4096, Seed: 1, Scale: 1})
+			res := newSimStream(opts.BatchSize, opts.Tail)
+			tr := newTypedRunner(p, w, opts.Warmup, res, opts.Seed)
+			if tr == nil {
+				b.Fatal("wiring did not resolve onto the typed loop")
+			}
+			tr.st.tr = newSimTracer(rec, p.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			tr.run(opts.Jobs)
+		})
 	}
 }
 

@@ -30,6 +30,11 @@ type loopState struct {
 	std *rand.Rand
 	trk *tracker
 	res *stats.Stream
+	// tr is the optional flight-recorder adapter (nil = tracing off).
+	// Every hook below sits behind a nil check and consumes no rng
+	// draws, so trace-off runs are bit-identical to pre-trace goldens
+	// and trace-on runs stay seed-deterministic.
+	tr *simTracer
 
 	// Hierarchical min-indexes, mirroring the interface loop's farm trees:
 	// lenTree for indexed JSQ, workTree for indexed LWL, nil otherwise.
@@ -237,6 +242,7 @@ func runTyped[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker
 	workAware := st.workAware
 	unit := st.unit
 	lenTree, workTree := st.lenTree, st.workTree
+	tr := st.tr
 	if !st.started {
 		st.nextArrival = arr.next(fr)
 		st.started = true
@@ -282,6 +288,9 @@ func runTyped[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker
 				if int(l) > maxQ {
 					maxQ = int(l)
 				}
+				if tr != nil {
+					tr.onArrival(now, best, int(l-1), lastTies(pk))
+				}
 			} else {
 				// The tracker is authoritative for completion times on this
 				// path (server.completion is neither read nor written): the
@@ -304,6 +313,9 @@ func runTyped[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker
 				}
 				if int(l) > maxQ {
 					maxQ = int(l)
+				}
+				if tr != nil {
+					tr.onArrival(now, best, int(l-1), lastTies(pk))
 				}
 			}
 			continue
@@ -342,6 +354,9 @@ func runTyped[A arrSampler, S svcSampler](st *loopState, arr A, svc S, pk picker
 			if lenTree != nil {
 				lenTree.Update(minI, float64(l))
 			}
+		}
+		if tr != nil {
+			tr.onDeparture(now, minI)
 		}
 		minC, minI = trk.min()
 		departed++
@@ -383,6 +398,7 @@ func runDefault(st *loopState, lamN float64, pk *sqdPick, jobs int64) {
 	trk := st.trk
 	res := st.res
 	unit := st.unit
+	tr := st.tr
 	perm := pk.perm
 	d := pk.d
 	n := len(perm)
@@ -408,6 +424,7 @@ func runDefault(st *loopState, lamN float64, pk *sqdPick, jobs int64) {
 			// exactly (no tie draw on the first candidate, one IntN(2) on
 			// an exact tie).
 			var best int
+			tiesSeen := 1
 			if d == 2 {
 				j := fr.IntN(n)
 				perm[0], perm[j] = perm[j], perm[0]
@@ -419,6 +436,9 @@ func runDefault(st *loopState, lamN float64, pk *sqdPick, jobs int64) {
 				l0, l1 := qlen[s0], qlen[s1]
 				if l1 < l0 || (l1 == l0 && fr.IntN(2) == 0) {
 					best = s1
+				}
+				if l0 == l1 {
+					tiesSeen = 2
 				}
 			} else {
 				bestLen, ties := int32(math.MaxInt32), 0
@@ -437,6 +457,7 @@ func runDefault(st *loopState, lamN float64, pk *sqdPick, jobs int64) {
 						}
 					}
 				}
+				tiesSeen = ties
 			}
 			servers[best].push(now)
 			l := qlen[best] + 1
@@ -451,6 +472,9 @@ func runDefault(st *loopState, lamN float64, pk *sqdPick, jobs int64) {
 			}
 			if int(l) > maxQ {
 				maxQ = int(l)
+			}
+			if tr != nil {
+				tr.onArrival(now, best, int(l-1), tiesSeen)
 			}
 			continue
 		}
@@ -467,6 +491,9 @@ func runDefault(st *loopState, lamN float64, pk *sqdPick, jobs int64) {
 			trk.update(minI, now+x)
 		} else {
 			trk.update(minI, math.Inf(1))
+		}
+		if tr != nil {
+			tr.onDeparture(now, minI)
 		}
 		minC, minI = trk.min()
 		departed++

@@ -54,7 +54,7 @@ func runInterfaceStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, s
 		servers[i].init(w.workAware)
 	}
 	_, heavy := w.service.(workload.BoundedPareto)
-	runInterfaceLoop(p, w, servers, newTrackerFor(p.N, heavy), rng, res, jobs, warmup)
+	runInterfaceLoop(p, w, servers, newTrackerFor(p.N, heavy), rng, res, jobs, warmup, nil)
 	return res
 }
 

@@ -18,12 +18,32 @@ type picker interface {
 	pick(st *loopState) int
 }
 
+// tieReporter is implemented by pickers that can report how many
+// candidates were tied at the minimum on their last pick; the trace
+// hooks surface that in Span.Ties. Pickers without per-pick state (the
+// stateless scan/tree/random variants) simply don't implement it.
+type tieReporter interface{ lastTies() int }
+
+// lastTies extracts the last pick's tie count, −1 when the picker
+// doesn't report.
+//
+//finitelb:hotpath
+func lastTies(pk picker) int {
+	if t, ok := pk.(tieReporter); ok {
+		return t.lastTies()
+	}
+	return -1
+}
+
 // sqdPick mirrors workload.SQD's picker: partial Fisher–Yates over a
 // persistent permutation, reservoir tie-breaking.
 type sqdPick struct {
 	d    int
 	perm []int
+	ties int32 // candidates tied at the minimum on the last pick
 }
+
+func (pk *sqdPick) lastTies() int { return int(pk.ties) }
 
 //finitelb:hotpath
 func (pk *sqdPick) pick(st *loopState) int {
@@ -45,6 +65,7 @@ func (pk *sqdPick) pick(st *loopState) int {
 			}
 		}
 	}
+	pk.ties = ties
 	return best
 }
 

@@ -23,6 +23,7 @@ import (
 	"finitelb/internal/minindex"
 	"finitelb/internal/sqd"
 	"finitelb/internal/stats"
+	"finitelb/internal/trace"
 	"finitelb/internal/workload"
 )
 
@@ -65,6 +66,17 @@ type Options struct {
 	// how Result's quantiles are computed — so every run stays
 	// seed-deterministic under either estimator.
 	Tail TailEstimator
+
+	// Trace, when non-nil, wires the flight recorder into the event
+	// loop: sampled jobs get lifecycle spans (arrival/pick/enqueue/
+	// start/done with server, queue length seen, and tie count) in the
+	// recorder's ring plus per-stage delay sketches. Tracing never
+	// consumes a draw from the simulation rng — runs are bit-identical
+	// with tracing on, off, or at any sampling rate — and adds zero
+	// allocations per event. With Replications > 1 all replication
+	// streams share the recorder; span Seq is then the per-stream
+	// arrival rank, not a global order.
+	Trace *trace.Recorder
 }
 
 // TailEstimator selects how a run estimates sojourn quantiles.
@@ -321,7 +333,7 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	if opts.Replications == 1 {
-		return result(runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed, opts.Tail)), nil
+		return result(runStream(p, w, opts.Jobs, opts.Warmup, opts.BatchSize, opts.Seed, opts.Tail, opts.Trace)), nil
 	}
 
 	r := int64(opts.Replications)
@@ -336,7 +348,7 @@ func Run(p sqd.Params, opts Options) (Result, error) {
 		if int64(i) < opts.Jobs%r {
 			jobs++
 		}
-		return runStream(p, w, jobs, opts.Warmup, opts.BatchSize, seeds[i], opts.Tail), nil
+		return runStream(p, w, jobs, opts.Warmup, opts.BatchSize, seeds[i], opts.Tail, opts.Trace), nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -424,9 +436,12 @@ func (f *farm) Work(i int) float64 {
 // the interface loop below. Both loops produce the same draw sequence for
 // the same wiring, which is what keeps the bit-identity regression tests
 // green (they pin each path against the same pre-workload goldens).
-func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64, tail TailEstimator) *stats.Stream {
+func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64, tail TailEstimator, rec *trace.Recorder) *stats.Stream {
 	res := newSimStream(batchSize, tail)
 	if tr := newTypedRunner(p, w, warmup, res, seed); tr != nil {
+		if rec != nil {
+			tr.st.tr = newSimTracer(rec, p.N)
+		}
 		tr.run(jobs)
 		return res
 	}
@@ -438,8 +453,12 @@ func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint6
 	for i := range servers {
 		servers[i].init(w.workAware)
 	}
+	var str *simTracer
+	if rec != nil {
+		str = newSimTracer(rec, p.N)
+	}
 	_, heavy := w.service.(workload.BoundedPareto)
-	runInterfaceLoop(p, w, servers, newTrackerFor(p.N, heavy), rng, res, jobs, warmup)
+	runInterfaceLoop(p, w, servers, newTrackerFor(p.N, heavy), rng, res, jobs, warmup, str)
 	return res
 }
 
@@ -455,7 +474,7 @@ func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint6
 // the current arrival instant. The draw *sequence* therefore differs from
 // the non-work-aware loop, but each job's requirement is the same i.i.d.
 // law, so all configurations remain distributionally identical.
-func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rng *rand.Rand, res *stats.Stream, jobs, warmup int64) {
+func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rng *rand.Rand, res *stats.Stream, jobs, warmup int64, tr *simTracer) {
 	src, err := w.arrival.NewSource(w.rate)
 	if err != nil {
 		panic("sim: unresolved wiring: " + err.Error())
@@ -517,6 +536,10 @@ func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rn
 				wf.note(best)
 			}
 			res.ObserveQueue(servers[best].length())
+			if tr != nil {
+				// Interface pickers don't report tie counts.
+				tr.onArrival(now, best, servers[best].length()-1, -1)
+			}
 			continue
 		}
 		sv := &servers[minI]
@@ -537,6 +560,9 @@ func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rn
 		trk.update(minI, sv.completion)
 		if indexed {
 			wf.note(minI)
+		}
+		if tr != nil {
+			tr.onDeparture(now, minI)
 		}
 		departed++
 		if departed > warmup {

@@ -63,7 +63,7 @@ func (l *LowerBound) Transitions(m statespace.State) []Transition {
 	topG := groups[0]
 	ts := make([]Transition, 0, 2*len(groups))
 	for _, g := range groups {
-		if r := arrivalRate(l.P.Params, g); r > 0 {
+		if r := ArrivalRate(l.P.Params, g); r > 0 {
 			to := m.AfterArrival(g)
 			if !l.P.InSpace(to) {
 				to = m.AfterArrival(minG) // jockey down to a shortest queue
@@ -120,7 +120,7 @@ func (u *UpperBound) Transitions(m statespace.State) []Transition {
 	minG := groups[len(groups)-1]
 	ts := make([]Transition, 0, 2*len(groups))
 	for _, g := range groups {
-		if r := arrivalRate(u.P.Params, g); r > 0 {
+		if r := ArrivalRate(u.P.Params, g); r > 0 {
 			to := m.AfterArrival(g)
 			if !u.P.InSpace(to) {
 				to = u.arrivalWithPhantoms(m, g, minG)

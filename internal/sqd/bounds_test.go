@@ -91,7 +91,7 @@ func unmergedLB(l *LowerBound, m statespace.State) []Transition {
 	topG := groups[0]
 	var ts []Transition
 	for _, g := range groups {
-		if r := arrivalRate(l.P.Params, g); r > 0 {
+		if r := ArrivalRate(l.P.Params, g); r > 0 {
 			to := m.AfterArrival(g)
 			if !l.P.InSpace(to) {
 				to = m.AfterArrival(minG)
@@ -119,7 +119,7 @@ func TestUpperBoundRedirectsAreLessPreferable(t *testing.T) {
 		groups := m.Groups()
 		minG := groups[len(groups)-1]
 		for _, g := range groups {
-			if arrivalRate(p.Params, g) > 0 {
+			if ArrivalRate(p.Params, g) > 0 {
 				exactTo := m.AfterArrival(g)
 				ubTo := exactTo
 				if !p.InSpace(exactTo) {

@@ -75,12 +75,14 @@ func Merged(ts []Transition) []Transition {
 	return out
 }
 
-// arrivalRate returns the rate at which an arriving job joins the tie group
+// ArrivalRate returns the rate at which an arriving job joins the tie group
 // g of state m under SQ(d) (Section II-A): all d sampled servers must lie
 // among the first g.End+1 queues, at least one of them inside the group.
 // With the paper's 1-based group span i..i+j this is
-// λN·(C(i+j, d) − C(i−1, d))/C(N, d).
-func arrivalRate(p Params, g statespace.Group) float64 {
+// λN·(C(i+j, d) − C(i−1, d))/C(N, d). Exported because the distribution
+// extractions (markov.ExactDistribution, qbd.JoinDistribution) reweight
+// states by per-group arrival rates outside the transition lists.
+func ArrivalRate(p Params, g statespace.Group) float64 {
 	num := statespace.Binomial(g.End+1, p.D) - statespace.Binomial(g.Start, p.D)
 	if num <= 0 {
 		return 0
@@ -104,7 +106,7 @@ func (e *Exact) Transitions(m statespace.State) []Transition {
 	groups := m.Groups()
 	ts := make([]Transition, 0, 2*len(groups))
 	for _, g := range groups {
-		if r := arrivalRate(e.P, g); r > 0 {
+		if r := ArrivalRate(e.P, g); r > 0 {
 			ts = append(ts, Transition{To: m.AfterArrival(g), Rate: r})
 		}
 		if g.Level > 0 {

@@ -43,7 +43,7 @@ func TestArrivalRateDistinct(t *testing.T) {
 	for _, g := range m.Groups() {
 		i := g.Start + 1 // paper's 1-based index
 		want := lamN * statespace.Binomial(i-1, p.D-1) / cn
-		if got := arrivalRate(p, g); math.Abs(got-want) > 1e-12 {
+		if got := ArrivalRate(p, g); math.Abs(got-want) > 1e-12 {
 			t.Errorf("arrival rate at server %d = %v, want %v", i, got, want)
 		}
 	}
@@ -56,7 +56,7 @@ func TestArrivalRateTieGroup(t *testing.T) {
 	g := m.GroupOf(1) // group spans 1-based servers 2..4
 	cn := statespace.Binomial(5, 3)
 	want := p.TotalArrivalRate() * (statespace.Binomial(4, 3) - statespace.Binomial(1, 3)) / cn
-	if got := arrivalRate(p, g); math.Abs(got-want) > 1e-12 {
+	if got := ArrivalRate(p, g); math.Abs(got-want) > 1e-12 {
 		t.Errorf("tie-group arrival rate = %v, want %v", got, want)
 	}
 }
@@ -72,7 +72,7 @@ func TestArrivalRatesSumToLambdaN(t *testing.T) {
 		m := randomState(rng, n, 6)
 		var sum float64
 		for _, g := range m.Groups() {
-			sum += arrivalRate(p, g)
+			sum += ArrivalRate(p, g)
 		}
 		return math.Abs(sum-p.TotalArrivalRate()) < 1e-9
 	}

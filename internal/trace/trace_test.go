@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// full drives one job through the whole lifecycle with synthetic
+// timestamps derived from base.
+func full(r *Recorder, base float64, server, qlen, ties int) Handle {
+	h := r.Start(base)
+	r.Picked(h, base+1, server, qlen, ties)
+	r.Enqueued(h, base+2)
+	r.Started(h, base+5)
+	r.Done(h, base+9)
+	return h
+}
+
+func TestLifecycleSpan(t *testing.T) {
+	r := New(Config{Sample: 1, Cap: 64})
+	for i := 0; i < 10; i++ {
+		if h := full(r, float64(100*i), i%3, i, 1+i%2); h == None {
+			t.Fatalf("job %d not sampled at Sample=1", i)
+		}
+	}
+	spans := r.Spans(-1)
+	if len(spans) != 10 {
+		t.Fatalf("Spans returned %d, want 10", len(spans))
+	}
+	// Most recent first.
+	for i, sp := range spans {
+		wantSeq := uint64(9 - i)
+		if sp.Seq != wantSeq {
+			t.Fatalf("span %d: seq %d, want %d", i, sp.Seq, wantSeq)
+		}
+		base := float64(100 * wantSeq)
+		if sp.Arrival != base || sp.Picked != base+1 || sp.Enqueued != base+2 ||
+			sp.Start != base+5 || sp.Done != base+9 {
+			t.Fatalf("span %d: timestamps %+v off base %v", i, sp, base)
+		}
+		// Stage durations telescope to the sojourn.
+		sum := (sp.Picked - sp.Arrival) + (sp.Enqueued - sp.Picked) +
+			(sp.Start - sp.Enqueued) + (sp.Done - sp.Start)
+		if sum != sp.Done-sp.Arrival {
+			t.Fatalf("span %d: stages sum %v ≠ sojourn %v", i, sum, sp.Done-sp.Arrival)
+		}
+		if sp.Server != int32(wantSeq%3) || sp.QLen != int32(wantSeq) || sp.Ties != int32(1+wantSeq%2) {
+			t.Fatalf("span %d: decision fields %+v", i, sp)
+		}
+	}
+	st := r.Stages()
+	if st.N != 10 || st.Pick.N() != 10 || st.Wait.N() != 10 || st.Service.N() != 10 {
+		t.Fatalf("stage N = %d/%d/%d/%d, want 10", st.N, st.Pick.N(), st.Wait.N(), st.Service.N())
+	}
+	// pick=1, wait=3, service=4 per job.
+	if st.PickSum != 10 || st.WaitSum != 30 || st.ServiceSum != 40 {
+		t.Fatalf("stage sums %v/%v/%v, want 10/30/40", st.PickSum, st.WaitSum, st.ServiceSum)
+	}
+}
+
+func TestSamplingDeterministicAndRateful(t *testing.T) {
+	const jobs = 1 << 18
+	mark := func(seed uint64) []bool {
+		r := New(Config{Seed: seed, Sample: 1024})
+		hits := make([]bool, jobs)
+		for i := range hits {
+			hits[i] = r.hit(uint64(i))
+		}
+		return hits
+	}
+	a, b, c := mark(7), mark(7), mark(8)
+	same, diff, hitsA := true, false, 0
+	for i := range a {
+		same = same && a[i] == b[i]
+		diff = diff || a[i] != c[i]
+		if a[i] {
+			hitsA++
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different sampled sets")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical sampled sets")
+	}
+	want := float64(jobs) / 1024
+	if f := float64(hitsA); f < 0.6*want || f > 1.4*want {
+		t.Fatalf("sampled %d of %d jobs, want ≈%v", hitsA, jobs, want)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := New(Config{Sample: 1, Cap: 8})
+	for i := 0; i < 20; i++ {
+		full(r, float64(i), 0, 0, -1)
+	}
+	spans := r.Spans(-1)
+	if len(spans) != 8 {
+		t.Fatalf("Spans returned %d, want 8 (= cap)", len(spans))
+	}
+	for i, sp := range spans {
+		if want := uint64(19 - i); sp.Seq != want {
+			t.Fatalf("span %d: seq %d, want %d", i, sp.Seq, want)
+		}
+	}
+	if got := r.Spans(3); len(got) != 3 || got[0].Seq != 19 {
+		t.Fatalf("Spans(3) = %d spans starting at %d", len(got), got[0].Seq)
+	}
+}
+
+func TestAbortAndPendingExhaustion(t *testing.T) {
+	r := New(Config{Sample: 1, Pending: 2})
+	h1 := r.Start(0)
+	h2 := r.Start(1)
+	if h1 == None || h2 == None {
+		t.Fatal("claims failed with free pool")
+	}
+	if h3 := r.Start(2); h3 != None {
+		t.Fatalf("claim succeeded on exhausted pool: %d", h3)
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	r.Abort(h1)
+	if r.Aborted() != 1 {
+		t.Fatalf("Aborted = %d, want 1", r.Aborted())
+	}
+	if h4 := r.Start(3); h4 == None {
+		t.Fatal("claim failed after Abort freed a slot")
+	}
+	if got := len(r.Spans(-1)); got != 0 {
+		t.Fatalf("aborted spans were published: %d", got)
+	}
+}
+
+func TestNegativeWaitClampedInSketchOnly(t *testing.T) {
+	r := New(Config{Sample: 1})
+	h := r.Start(0)
+	r.Picked(h, 1, 0, 0, -1)
+	r.Enqueued(h, 2)
+	r.Started(h, 1.5) // service begins before the enqueue observation
+	r.Done(h, 3)
+	sp := r.Spans(1)[0]
+	if sp.Start != 1.5 || sp.Enqueued != 2 {
+		t.Fatalf("raw timestamps altered: %+v", sp)
+	}
+	st := r.Stages()
+	if m := st.Wait.Max(); m != 0 {
+		t.Fatalf("negative wait not clamped in sketch: max %v", m)
+	}
+	if st.WaitSum != 0 {
+		t.Fatalf("WaitSum = %v, want 0", st.WaitSum)
+	}
+}
+
+func TestScaleAppliesToStages(t *testing.T) {
+	r := New(Config{Sample: 1, Scale: 4})
+	full(r, 0, 0, 0, -1) // service duration 4 → 1 in scaled units
+	st := r.Stages()
+	if math.Abs(st.ServiceSum-1) > 1e-12 {
+		t.Fatalf("ServiceSum = %v, want 1 at Scale=4", st.ServiceSum)
+	}
+}
+
+func TestAllocFreeRecording(t *testing.T) {
+	r := New(Config{Sample: 1, Cap: 256})
+	var i int
+	allocs := testing.AllocsPerRun(2000, func() {
+		full(r, float64(i), i%4, i, 1)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("recording allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentWritersAndReaders hammers the recorder from many
+// goroutines while readers snapshot spans and stages — run under -race
+// this proves the seqlock ring and pending pool are data-race-free, and
+// the span consistency check proves reads are never torn.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	r := New(Config{Sample: 1, Cap: 64, Pending: 1024})
+	const writers, perWriter = 8, 2000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sp := range r.Spans(-1) {
+					// Every published span was driven by full(): its
+					// timestamps are rigid offsets of Arrival. A torn
+					// read mixes two spans and breaks the pattern.
+					if sp.Picked != sp.Arrival+1 || sp.Done != sp.Arrival+9 {
+						t.Errorf("torn span: %+v", sp)
+						return
+					}
+				}
+				_ = r.Stages()
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				full(r, float64(w*perWriter+i), w, i, -1)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if pub := r.Published(); pub+r.Dropped() < writers*perWriter {
+		t.Fatalf("published %d + dropped %d < %d jobs", pub, r.Dropped(), writers*perWriter)
+	}
+	st := r.Stages()
+	if st.N == 0 || st.Pick.N() != st.N || st.Service.N() != st.N {
+		t.Fatalf("stage sketches inconsistent: %d/%d/%d", st.N, st.Pick.N(), st.Service.N())
+	}
+}

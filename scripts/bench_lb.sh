@@ -11,6 +11,10 @@
 # a state_bytes memory column: the recorder's sketch-shard accumulator
 # footprint (per-server up to N = 1024, ~9 KB each).
 #
+# Each record set is machine-tagged (goos/goarch, CPU model, core count,
+# go version) so trajectories from different hosts are never diffed as if
+# they were one series.
+#
 # Usage:  scripts/bench_lb.sh            # default 0.5s per benchmark
 #         BENCHTIME=2s scripts/bench_lb.sh
 set -euo pipefail
@@ -21,7 +25,10 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkDispatch|BenchmarkDispatchContended|BenchmarkPick' -benchmem \
     -benchtime "${BENCHTIME:-0.5s}" ./internal/lb | tee "$raw"
 
-awk '
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+gover=$(go env GOVERSION)
+
+awk -v cores="$cores" -v gover="$gover" '
 /^goos|^goarch|^cpu/ { meta[$1] = substr($0, index($0, $2)); next }
 /^Benchmark/ {
     # Scan (value, unit) pairs rather than fixed positions: custom
@@ -43,6 +50,7 @@ awk '
 END {
     printf("\n  ],\n")
     printf("  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", meta["goos:"], meta["goarch:"], meta["cpu:"])
+    printf("  \"cores\": %d,\n  \"go_version\": \"%s\",\n", cores, gover)
     printf("  \"unit\": \"ns per dispatch\"\n}\n")
 }
 BEGIN { printf("{\n  \"benchmarks\": [\n") }

@@ -15,6 +15,10 @@
 # embedded verbatim under "baseline" so the before/after trajectory
 # travels with the file.
 #
+# Each record set is machine-tagged (goos/goarch, CPU model, core count,
+# go version) so trajectories from different hosts are never diffed as if
+# they were one series.
+#
 # Usage:  scripts/bench_sim.sh            # default 0.5s per benchmark
 #         BENCHTIME=2s scripts/bench_sim.sh
 set -euo pipefail
@@ -25,7 +29,10 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkSimJobs' -benchmem \
     -benchtime "${BENCHTIME:-0.5s}" ./internal/sim | tee "$raw"
 
-awk '
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+gover=$(go env GOVERSION)
+
+awk -v cores="$cores" -v gover="$gover" '
 /^goos|^goarch|^cpu/ { meta[$1] = substr($0, index($0, $2)); next }
 /^Benchmark/ {
     # Scan (value, unit) pairs rather than fixed positions: custom
@@ -47,6 +54,7 @@ awk '
 END {
     printf("\n  ],\n")
     printf("  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", meta["goos:"], meta["goarch:"], meta["cpu:"])
+    printf("  \"cores\": %d,\n  \"go_version\": \"%s\",\n", cores, gover)
     printf("  \"unit\": \"ns per job (2 events)\",\n")
     printf("  \"baseline\":\n")
 }
