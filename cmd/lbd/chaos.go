@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// chaosHandler serves /debug/chaos, the live fault-injection surface
+// (registered only with -chaos; mutating a production farm from an HTTP
+// endpoint is strictly an opt-in):
+//
+//	GET  /debug/chaos                          membership snapshot
+//	POST /debug/chaos?action=A&server=I[&...]  inject one event
+//
+// Actions map one-to-one onto the internal/lb failure-domain verbs:
+// crash (lose in-service progress, redeliver the queue), leave
+// (graceful drain), join/restore, slow (&factor=F), stall (&dur=D, a
+// Go duration), pause and resume (farm-wide, no server). Rejected
+// injections — crashing a server twice, taking down the last live
+// server — return 409 with the farm's reason, so a chaos script can
+// tell "already applied" from "refused".
+func (d *daemon) chaosHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		d.chaosStatus(w)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "GET for status, POST to inject", http.StatusMethodNotAllowed)
+		return
+	}
+	action := r.URL.Query().Get("action")
+	needsServer := action != "pause" && action != "resume"
+	server := -1
+	if needsServer {
+		v, err := strconv.Atoi(r.URL.Query().Get("server"))
+		if err != nil {
+			http.Error(w, "server must be an integer index", http.StatusBadRequest)
+			return
+		}
+		server = v
+	}
+	var err error
+	switch action {
+	case "crash":
+		err = d.farm.Crash(server)
+	case "leave":
+		err = d.farm.Leave(server)
+	case "join", "restore":
+		err = d.farm.Join(server)
+	case "slow":
+		factor, perr := strconv.ParseFloat(r.URL.Query().Get("factor"), 64)
+		if perr != nil {
+			http.Error(w, "slow needs factor=F", http.StatusBadRequest)
+			return
+		}
+		err = d.farm.SetSlow(server, factor)
+	case "stall":
+		dur, perr := time.ParseDuration(r.URL.Query().Get("dur"))
+		if perr != nil {
+			http.Error(w, "stall needs dur=D (a Go duration)", http.StatusBadRequest)
+			return
+		}
+		err = d.farm.Stall(server, dur)
+	case "pause":
+		d.farm.PauseDispatch()
+	case "resume":
+		d.farm.ResumeDispatch()
+	default:
+		http.Error(w, fmt.Sprintf("unknown action %q (crash | leave | join | slow | stall | pause | resume)", action), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	d.chaosStatus(w)
+}
+
+// chaosStatus renders the membership view a chaos script polls between
+// injections.
+func (d *daemon) chaosStatus(w http.ResponseWriter) {
+	shedding := false
+	if d.shed != nil {
+		shedding = d.shed.Active()
+	}
+	o := d.farm.Recorder().Outcomes()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"n":         d.farm.N(),
+		"alive":     d.farm.Alive(),
+		"shedding":  shedding,
+		"completed": o.Completed,
+		"requeued":  o.Requeued,
+		"retried":   o.Retried,
+		"shed":      o.Shed,
+		"dropped":   o.Dropped,
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+
+	"finitelb/internal/trace"
 )
 
 // jobSpan is the wire form of one flight-recorder span: raw timestamps in
@@ -27,6 +29,21 @@ type jobSpan struct {
 	Wait    float64 `json:"wait_ns"`
 	Service float64 `json:"service_ns"`
 	Sojourn float64 `json:"sojourn_ns"`
+	Retries int32   `json:"retries"`
+	Outcome string  `json:"outcome"`
+}
+
+// outcomeName renders a span's packed outcome code. New fields append at
+// the end of the CSV so column-positional consumers (the smoke scripts
+// grep the header prefix) keep working.
+func outcomeName(o uint8) string {
+	switch o {
+	case trace.OutcomeCompleted:
+		return "completed"
+	case trace.OutcomeDropped:
+		return "dropped"
+	}
+	return "unknown"
 }
 
 // debugJobsHandler serves GET /debug/jobs: the most recent traced spans,
@@ -56,6 +73,8 @@ func (d *daemon) debugJobsHandler(w http.ResponseWriter, r *http.Request) {
 			Wait:    sp.Start - sp.Enqueued,
 			Service: sp.Done - sp.Start,
 			Sojourn: sp.Done - sp.Arrival,
+			Retries: sp.Retries,
+			Outcome: outcomeName(sp.Outcome),
 		}
 	}
 
@@ -64,7 +83,7 @@ func (d *daemon) debugJobsHandler(w http.ResponseWriter, r *http.Request) {
 		cw := csv.NewWriter(w)
 		_ = cw.Write([]string{"seq", "server", "qlen", "ties",
 			"arrival_ns", "picked_ns", "enqueued_ns", "start_ns", "done_ns",
-			"wait_ns", "service_ns", "sojourn_ns"})
+			"wait_ns", "service_ns", "sojourn_ns", "retries", "outcome"})
 		f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 		for _, sp := range out {
 			_ = cw.Write([]string{
@@ -74,6 +93,7 @@ func (d *daemon) debugJobsHandler(w http.ResponseWriter, r *http.Request) {
 				strconv.FormatInt(int64(sp.Ties), 10),
 				f(sp.Arrival), f(sp.Picked), f(sp.Enqueue), f(sp.Start), f(sp.Done),
 				f(sp.Wait), f(sp.Service), f(sp.Sojourn),
+				strconv.FormatInt(int64(sp.Retries), 10), sp.Outcome,
 			})
 		}
 		cw.Flush()

@@ -11,10 +11,14 @@
 //	lbd -addr :8080 -n 16 -policy sqd:2 -service exponential -mean-service 5ms
 //
 //	POST /work[?work=1.5]   dispatch one job (requirement drawn from the
-//	                        service law unless given); responds when done
+//	                        service law unless given); responds when done,
+//	                        429 + Retry-After while the -shed guard is
+//	                        refusing admissions
 //	GET  /metrics           Prometheus text exposition
 //	GET  /debug/jobs        flight-recorder span dump (JSON; ?format=csv),
 //	                        404 unless -trace is on
+//	POST /debug/chaos       live fault injection (crash/leave/join/slow/
+//	                        stall/pause/resume), only with -chaos
 //	GET  /healthz           liveness
 //
 // -trace N samples one of every N jobs (a power of two; deterministic in
@@ -31,8 +35,24 @@
 // declared -rho as lbd_delay_predicted_{mean,p99}_{lower,upper} gauges —
 // the model line the measured mean and p99 gauges should land inside.
 //
+// The failure domain rides along in either mode. -churn replays a
+// schedule spec (e.g. -churn 'crash@40,restore@80', times in mean
+// service times, servers resolved deterministically from -chaos-seed)
+// against the live farm; -retry-budget, -retry-backoff, -deadline and
+// -hedge configure how orphaned and late jobs are redelivered, dropped
+// or duplicated (see internal/lb). In serve mode, -bgload RHO keeps the
+// farm under built-in open-loop pressure so a chaos scenario needs no
+// external client, and -shed arms the SLO guard: when the windowed
+// measured p99 runs above the model's upper p99 bracket (or the -shed-p99
+// override) for consecutive -shed-window periods, /work refuses new jobs
+// with 429 until the tail recovers. Every outcome is accounted on
+// /metrics as lbd_jobs_total{outcome} beside the lbd_alive_servers and
+// lbd_shedding gauges.
+//
 // SIGINT/SIGTERM stop admission, drain every queued job, and print the
-// drain stats.
+// drain stats. The drain is ordered: background generator first, HTTP
+// listener second, farm last — so every accepted job is completed or
+// accounted as dropped, never lost to a submitter/drain race.
 //
 // Load-generator mode drives the farm itself — open-loop arrivals from
 // -arrival at utilization -rho — then prints the measured summary and,
@@ -65,25 +85,48 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
 
 	"finitelb"
+	"finitelb/internal/chaos"
 	"finitelb/internal/lb"
 	"finitelb/internal/trace"
 	"finitelb/internal/workload"
 )
 
 // daemon bundles the state the HTTP surface reads: the farm, the service
-// law for drawn work, the flight recorder (nil when -trace is off), and
-// the background model prediction (nil when the workload is off-model).
+// law for drawn work, the flight recorder (nil when -trace is off), the
+// background model prediction (nil when the workload is off-model), the
+// SLO shedding guard (nil when -shed is off), and whether the
+// fault-injection endpoint is exposed (-chaos).
 type daemon struct {
-	farm *lb.LB
-	svc  workload.Service
-	seed uint64
-	tr   *trace.Recorder
-	pred *predicted
+	farm  *lb.LB
+	svc   workload.Service
+	seed  uint64
+	tr    *trace.Recorder
+	pred  *predicted
+	shed  *shedder
+	chaos bool
+}
+
+// bgLoad is the handle on the optional background load generator
+// (-bgload): serve mode's way of keeping the farm under open-loop
+// pressure without an external client, which is what makes a chaos
+// scenario self-contained. stop cancels the generator and waits for it
+// to quiesce — the first step of every drain, because shutting the farm
+// down under an in-process generator is a race between the drain and
+// the next submit.
+type bgLoad struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (b *bgLoad) stop() {
+	b.cancel()
+	<-b.done
 }
 
 func main() {
@@ -106,6 +149,19 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060); empty = off")
 		traceEvery  = flag.Int("trace", 0, "trace 1 of every N jobs into the flight recorder (rounded to a power of two; 0 = off)")
 		traceCap    = flag.Int("trace-cap", 4096, "flight-recorder ring capacity in spans (rounded to a power of two)")
+
+		retryBudget  = flag.Int("retry-budget", 0, "redeliveries per job orphaned by churn (0 = default 3, negative = no redelivery)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base of the jittered exponential redelivery backoff (0 = immediate)")
+		deadline     = flag.Duration("deadline", 0, "drop a job whose service has not started this long after arrival (0 = none)")
+		hedge        = flag.Duration("hedge", 0, "duplicate a job to a second server if service has not started within this (0 = off)")
+
+		churnSpec = flag.String("churn", "", "churn schedule to replay, e.g. 'crash@40,restore@80' (times in mean service times; unassigned servers resolved from -chaos-seed)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for resolving -churn events onto servers (internal/chaos.Resolve)")
+		chaosOn   = flag.Bool("chaos", false, "expose POST /debug/chaos live fault injection (serve mode)")
+		shedOn    = flag.Bool("shed", false, "refuse admissions with 429 while the windowed p99 runs above the predicted bracket (serve mode)")
+		shedP99   = flag.Float64("shed-p99", 0, "explicit p99 shedding ceiling in mean service times (0 = the model's upper p99 bracket)")
+		shedWin   = flag.Duration("shed-window", time.Second, "evaluation window of the shedding guard")
+		bgRho     = flag.Float64("bgload", 0, "drive the farm with a built-in open-loop generator at this per-server utilization (serve mode; 0 = off)")
 	)
 	flag.Parse()
 
@@ -148,16 +204,28 @@ func main() {
 		})
 	}
 	farm, err := lb.New(lb.Config{
-		N:           *n,
-		Policy:      pol,
-		Speeds:      spd,
-		QueueCap:    *queueCap,
-		MeanService: *meanService,
-		Warmup:      *warmup,
-		BatchSize:   batch,
-		Seed:        *seed,
-		Trace:       rec,
+		N:            *n,
+		Policy:       pol,
+		Speeds:       spd,
+		QueueCap:     *queueCap,
+		MeanService:  *meanService,
+		Warmup:       *warmup,
+		BatchSize:    batch,
+		Seed:         *seed,
+		Trace:        rec,
+		RetryBudget:  *retryBudget,
+		RetryBackoff: *retryBackoff,
+		Deadline:     *deadline,
+		Hedge:        *hedge,
+		Chaos:        *chaosOn || *churnSpec != "",
 	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Resolve the churn schedule up front so a typo fails the launch, not
+	// the run.
+	churn, err := resolveChurn(*churnSpec, *chaosSeed, *n)
 	if err != nil {
 		fatal(err)
 	}
@@ -167,18 +235,70 @@ func main() {
 	}
 
 	if *loadgen > 0 {
+		if churn != nil {
+			go replayChurn(farm, churn)
+		}
 		if err := runLoadGen(farm, arr, svc, pol, *n, *d, *rho, *loadgen, *seed, *dispatchers, *burstBatch); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	serve(&daemon{
-		farm: farm,
-		svc:  svc,
-		seed: *seed,
-		tr:   rec,
-		pred: newPredicted(pol, svc, spd, *n, *rho),
-	}, *addr)
+
+	dm := &daemon{
+		farm:  farm,
+		svc:   svc,
+		seed:  *seed,
+		tr:    rec,
+		pred:  newPredicted(pol, svc, spd, *n, *rho),
+		chaos: *chaosOn,
+	}
+	if *shedOn {
+		dm.shed = newShedder(farm.Recorder(), dm.pred, *shedP99, *shedWin, 0)
+		go dm.shed.run()
+	}
+	var bg *bgLoad
+	if *bgRho > 0 {
+		bg = startBgLoad(farm, arr, svc, *bgRho, *seed)
+	}
+	if churn != nil {
+		go replayChurn(farm, churn)
+	}
+	serve(dm, *addr, bg)
+}
+
+// resolveChurn parses -churn and pins every event to a server with the
+// deterministic chaos resolver; nil spec means no churn.
+func resolveChurn(spec string, seed uint64, n int) ([]workload.ChurnEvent, error) {
+	c, err := workload.ParseChurn(spec)
+	if err != nil || c == nil {
+		return nil, err
+	}
+	return chaos.Resolve(c, seed, n)
+}
+
+// replayChurn runs the resolved schedule against the live farm,
+// reporting (not dying on) injections the farm refuses.
+func replayChurn(farm *lb.LB, events []workload.ChurnEvent) {
+	if err := farm.RunChurn(events); err != nil && err != lb.ErrClosed {
+		fmt.Fprintln(os.Stderr, "lbd: churn:", err)
+	}
+}
+
+// startBgLoad launches the in-process open-loop generator. The job
+// budget is effectively unbounded; the generator runs until stop.
+func startBgLoad(farm *lb.LB, arr workload.Arrival, svc workload.Service, rho float64, seed uint64) *bgLoad {
+	ctx, cancel := context.WithCancel(context.Background())
+	bg := &bgLoad{cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(bg.done)
+		_, err := farm.RunLoadGen(ctx, lb.GenConfig{
+			Arrival: arr, Service: svc, Rho: rho, Jobs: 1 << 62, Seed: seed,
+		})
+		if err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "lbd: bgload:", err)
+		}
+	}()
+	return bg
 }
 
 // servePprof runs the opt-in profiling listener. It is deliberately a
@@ -267,11 +387,10 @@ func specName(a workload.Arrival, def string) string {
 }
 
 // serve runs the HTTP front end until SIGINT/SIGTERM, then drains.
-func serve(d *daemon, addr string) {
-	farm := d.farm
+func serve(d *daemon, addr string, bg *bgLoad) {
 	srv := &http.Server{Addr: addr, Handler: newMux(d)}
 	go func() {
-		fmt.Printf("lbd listening on %s (N=%d)\n", addr, farm.N())
+		fmt.Printf("lbd listening on %s (N=%d)\n", addr, d.farm.N())
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}
@@ -283,14 +402,34 @@ func serve(d *daemon, addr string) {
 	fmt.Println("lbd: draining...")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "lbd: http shutdown:", err)
-	}
-	st, err := farm.Shutdown(ctx)
+	st, err := drainAll(ctx, d, srv, bg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbd: drain:", err)
 	}
-	fmt.Printf("lbd: drained: %d completed, %d rejected, %d abandoned\n", st.Completed, st.Rejected, st.Abandoned)
+	fmt.Printf("lbd: drained: %d completed, %d dropped, %d rejected, %d abandoned\n",
+		st.Completed, st.Dropped, st.Rejected, st.Abandoned)
+}
+
+// drainAll stops the daemon's moving parts in dependency order: first
+// the in-process load generator (no new jobs from inside), then the
+// HTTP listener (no new jobs from outside, in-flight /work handlers run
+// to completion), and only then the farm itself. Draining the farm
+// before silencing its submitters is a race — the generator's next
+// submit lands on a closing farm and is miscounted as a lifetime
+// rejection — which is exactly what TestDrainUnderBackgroundLoad pins.
+func drainAll(ctx context.Context, d *daemon, srv *http.Server, bg *bgLoad) (lb.DrainStats, error) {
+	if bg != nil {
+		bg.stop()
+	}
+	if d.shed != nil {
+		d.shed.close()
+	}
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "lbd: http shutdown:", err)
+		}
+	}
+	return d.farm.Shutdown(ctx)
 }
 
 // newMux wires the HTTP surface; split out for tests.
@@ -301,6 +440,14 @@ func newMux(d *daemon) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /work", func(w http.ResponseWriter, r *http.Request) {
+		if d.shed != nil && d.shed.Active() {
+			// The SLO guard is tripped: refuse before touching the farm,
+			// book the shed, and tell the client when to come back.
+			farm.Recorder().NoteShed()
+			w.Header().Set("Retry-After", strconv.Itoa(int(d.shed.RetryAfter()/time.Second)))
+			http.Error(w, "farm over SLO; shedding load", http.StatusTooManyRequests)
+			return
+		}
 		work := 0.0
 		if q := r.URL.Query().Get("work"); q != "" {
 			if _, err := fmt.Sscanf(q, "%g", &work); err != nil || !(work > 0) {
@@ -338,6 +485,9 @@ func newMux(d *daemon) http.Handler {
 
 	mux.HandleFunc("GET /metrics", d.metricsHandler)
 	mux.HandleFunc("GET /debug/jobs", d.debugJobsHandler)
+	if d.chaos {
+		mux.HandleFunc("/debug/chaos", d.chaosHandler)
+	}
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")

@@ -97,6 +97,9 @@ func TestMetricsAndHealth(t *testing.T) {
 	for _, want := range []string{
 		"lbd_jobs_completed_total 20",
 		"lbd_jobs_rejected_total 0",
+		"lbd_jobs_total{outcome=\"completed\"} 20",
+		"lbd_jobs_total{outcome=\"dropped\"} 0",
+		"lbd_alive_servers 4",
 		"lbd_delay_mean_service_times ",
 		"lbd_delay_quantile_service_times{q=\"0.99\"}",
 		"lbd_delay_quantile_service_times{q=\"0.999\"}",
@@ -149,6 +152,170 @@ func TestPprofEndpoint(t *testing.T) {
 	newMux(&daemon{farm: testFarm(t), svc: workload.Exponential{}, seed: 1}).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
 	if rec.Code == 200 {
 		t.Error("serve-mode mux exposes /debug/pprof/ without -pprof")
+	}
+}
+
+// TestDrainUnderBackgroundLoad pins the shutdown ordering: with the
+// in-process generator still offering load, drainAll must first stop
+// the generator, then the farm — every accepted job ends completed or
+// dropped, none abandoned, and the drain itself returns no error. The
+// old path shut the farm down with submitters live, racing the drain
+// against the generator's next dispatch.
+func TestDrainUnderBackgroundLoad(t *testing.T) {
+	farm, err := lb.New(lb.Config{N: 4, MeanService: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := &daemon{farm: farm, svc: workload.Exponential{}, seed: 1}
+	dm.shed = newShedder(farm.Recorder(), nil, 0, 50*time.Millisecond, 0)
+	go dm.shed.run()
+	bg := startBgLoad(farm, nil, nil, 0.5, 7)
+	time.Sleep(300 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := drainAll(ctx, dm, nil, bg)
+	if err != nil {
+		t.Fatalf("drainAll: %v", err)
+	}
+	if st.Completed == 0 {
+		t.Error("background generator completed no jobs before the drain")
+	}
+	if st.Abandoned != 0 {
+		t.Errorf("%d jobs abandoned by an ordered drain", st.Abandoned)
+	}
+	// The generator was silenced before the farm closed, so nothing was
+	// offered to a closing farm.
+	o := farm.Recorder().Outcomes()
+	if got := o.Completed + o.Dropped; got != st.Completed+st.Dropped {
+		t.Errorf("outcome ledger %d ≠ drain stats %d", got, st.Completed+st.Dropped)
+	}
+}
+
+// TestChaosEndpoint covers the -chaos surface: injection round-trips,
+// membership accounting, refusal semantics, and the default-off gate.
+func TestChaosEndpoint(t *testing.T) {
+	farm := testFarm(t)
+	mux := newMux(&daemon{farm: farm, svc: workload.Exponential{}, seed: 1, chaos: true})
+
+	post := func(q string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/chaos?"+q, nil))
+		return rec
+	}
+	var status struct {
+		N        int  `json:"n"`
+		Alive    int  `json:"alive"`
+		Shedding bool `json:"shedding"`
+	}
+
+	rec := post("action=crash&server=1")
+	if rec.Code != 200 {
+		t.Fatalf("crash: %d %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.N != 4 || status.Alive != 3 {
+		t.Errorf("after crash: n=%d alive=%d, want 4/3", status.N, status.Alive)
+	}
+
+	// Crashing a down server is a refusal, not a repeat.
+	if rec = post("action=crash&server=1"); rec.Code != 409 {
+		t.Errorf("double crash: %d, want 409", rec.Code)
+	}
+	if rec = post("action=join&server=1"); rec.Code != 200 {
+		t.Fatalf("join: %d %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Alive != 4 {
+		t.Errorf("after join: alive=%d, want 4", status.Alive)
+	}
+	if rec = post("action=explode&server=0"); rec.Code != 400 {
+		t.Errorf("unknown action: %d, want 400", rec.Code)
+	}
+	if rec = post("action=crash&server=banana"); rec.Code != 400 {
+		t.Errorf("bad server: %d, want 400", rec.Code)
+	}
+
+	// GET reports status without mutating.
+	getRec := httptest.NewRecorder()
+	mux.ServeHTTP(getRec, httptest.NewRequest("GET", "/debug/chaos", nil))
+	if getRec.Code != 200 {
+		t.Errorf("GET status: %d", getRec.Code)
+	}
+
+	// Without -chaos the endpoint must not exist.
+	offRec := httptest.NewRecorder()
+	newMux(&daemon{farm: testFarm(t), svc: workload.Exponential{}, seed: 1}).
+		ServeHTTP(offRec, httptest.NewRequest("POST", "/debug/chaos?action=crash&server=0", nil))
+	if offRec.Code != 404 {
+		t.Errorf("chaos endpoint without -chaos: %d, want 404", offRec.Code)
+	}
+}
+
+// TestShedGuardGatesAdmission steps the SLO guard by hand: two breached
+// windows trip it, /work then bounces with 429 + Retry-After and books
+// the shed, and one healthy (empty) window reopens admission.
+func TestShedGuardGatesAdmission(t *testing.T) {
+	farm := testFarm(t)
+	dm := &daemon{farm: farm, svc: workload.Exponential{}, seed: 1}
+	// Ceiling far below any real sojourn (≥ 1 service time), so every
+	// nonempty window breaches.
+	dm.shed = newShedder(farm.Recorder(), nil, 1e-4, time.Second, 2)
+	mux := newMux(dm)
+
+	work := func() int {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/work?work=1", nil))
+		return rec.Code
+	}
+	for i := 0; i < 5; i++ {
+		if code := work(); code != 200 {
+			t.Fatalf("healthy /work: %d", code)
+		}
+	}
+	dm.shed.tick() // breach 1 of 2: still open
+	if dm.shed.Active() {
+		t.Fatal("guard tripped after one breached window")
+	}
+	if code := work(); code != 200 {
+		t.Fatalf("/work after one breach: %d", code)
+	}
+	dm.shed.tick() // breach 2 of 2: shedding
+	if !dm.shed.Active() {
+		t.Fatal("guard did not trip after two breached windows")
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/work?work=1", nil))
+	if rec.Code != 429 {
+		t.Fatalf("shedding /work: %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := farm.Recorder().Outcomes().Shed; got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+
+	mRec := httptest.NewRecorder()
+	mux.ServeHTTP(mRec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, want := range []string{"lbd_shedding 1", "lbd_jobs_total{outcome=\"shed\"} 1", "lbd_slo_p99_ceiling_service_times 0.0001"} {
+		if !strings.Contains(mRec.Body.String(), want) {
+			t.Errorf("/metrics missing %q while shedding", want)
+		}
+	}
+
+	// Admission closed ⇒ the next window is empty ⇒ the guard reopens.
+	dm.shed.tick()
+	if dm.shed.Active() {
+		t.Fatal("guard did not reopen on an empty window")
+	}
+	if code := work(); code != 200 {
+		t.Errorf("/work after recovery: %d", code)
 	}
 }
 

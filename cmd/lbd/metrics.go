@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"runtime/metrics"
 	"strconv"
@@ -33,6 +34,24 @@ func (d *daemon) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	p.Sample("", nil, "%d", s.Completed)
 	p.Family("lbd_jobs_rejected_total", "counter", "Jobs refused on a full queue.")
 	p.Sample("", nil, "%d", s.Rejected)
+	// The per-outcome ledger of the failure domain: at quiescence,
+	// accepted = completed + dropped; requeued/retried book the churn
+	// redelivery machinery and shed the SLO guard's refusals.
+	p.Family("lbd_jobs_total", "counter", "Jobs by outcome (completed | requeued | retried | shed | dropped).")
+	for _, c := range []struct {
+		l string
+		v int64
+	}{
+		{"completed", s.Outcomes.Completed},
+		{"requeued", s.Outcomes.Requeued},
+		{"retried", s.Outcomes.Retried},
+		{"shed", s.Outcomes.Shed},
+		{"dropped", s.Outcomes.Dropped},
+	} {
+		p.Sample("", []label{{"outcome", c.l}}, "%d", c.v)
+	}
+	p.Family("lbd_alive_servers", "gauge", "Servers currently in the dispatch set (N minus crashed/left).")
+	p.Sample("", nil, "%d", d.farm.Alive())
 	p.Family("lbd_delay_mean_service_times", "gauge", "Mean sojourn in mean service times (after warmup).")
 	p.Sample("", nil, "%g", s.MeanDelay)
 	p.Family("lbd_delay_halfwidth_service_times", "gauge", "95% batch-means CI half-width on the mean delay.")
@@ -63,6 +82,9 @@ func (d *daemon) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 		p.Sample("", []label{{"server", strconv.Itoa(i)}}, "%d", l)
 	}
 
+	if d.shed != nil {
+		d.shedMetrics(p)
+	}
 	if d.tr != nil {
 		d.traceMetrics(p)
 	}
@@ -73,6 +95,23 @@ func (d *daemon) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	if err := p.Err(); err != nil {
 		// A construction bug; the conformance test keeps this unreachable.
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// shedMetrics exposes the SLO guard: whether admission is refused, the
+// last windowed p99 it measured, and the ceiling it compares against.
+func (d *daemon) shedMetrics(p *promWriter) {
+	p.Family("lbd_shedding", "gauge", "1 while the SLO guard refuses admissions with 429.")
+	shedding := 0
+	if d.shed.Active() {
+		shedding = 1
+	}
+	p.Sample("", nil, "%d", shedding)
+	p.Family("lbd_slo_window_p99_service_times", "gauge", "Windowed measured p99 sojourn the SLO guard evaluates (0 before the first nonempty window).")
+	p.Sample("", nil, "%g", d.shed.LastP99())
+	if thr := d.shed.Threshold(); !math.IsNaN(thr) {
+		p.Family("lbd_slo_p99_ceiling_service_times", "gauge", "The p99 ceiling the guard sheds above (predicted upper bracket or -shed-p99).")
+		p.Sample("", nil, "%g", thr)
 	}
 }
 

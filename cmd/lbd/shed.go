@@ -1,0 +1,128 @@
+package main
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"finitelb/internal/lb"
+	"finitelb/internal/stats"
+)
+
+// shedder is serve mode's SLO guard: it watches the measured p99 sojourn
+// over sliding windows and, when the farm runs sustained above the
+// model-predicted upper bracket, refuses new admissions with 429 until
+// the tail re-enters the bracket. The windowed p99 comes from
+// differencing successive Recorder.TailSketch snapshots
+// (stats.Sketch.DiffQuantile), so the signal sees only the last window's
+// jobs — a lifetime quantile would dilute a fresh breach under hours of
+// healthy history and never trip.
+//
+// The guard is asymmetric by design: it trips only after `trip`
+// consecutive breached windows (a single GC pause or scheduling hiccup
+// must not close admission), and it reopens on the first healthy
+// window (queues drain fast once admission stops; holding 429s longer
+// than necessary is its own SLO violation). An empty window — no
+// completions, which is the steady state once shedding stops all
+// arrivals — counts as healthy for the same reason: it is the signal
+// that the backlog has drained.
+type shedder struct {
+	rec    *lb.Recorder
+	pred   *predicted    // startup QBD solve; nil for off-model workloads
+	thresh float64       // explicit threshold override; 0 defers to pred
+	window time.Duration // evaluation period
+	trip   int           // consecutive breached windows before shedding
+
+	active   atomic.Bool
+	breaches atomic.Int32
+	p99Bits  atomic.Uint64 // last windowed p99 (Float64bits), for /metrics
+
+	stop chan struct{}
+	prev *stats.Sketch // previous snapshot; loop-local
+}
+
+// newShedder wires the guard; run must be started by the caller.
+func newShedder(rec *lb.Recorder, pred *predicted, thresh float64, window time.Duration, trip int) *shedder {
+	if window <= 0 {
+		window = time.Second
+	}
+	if trip < 1 {
+		trip = 2
+	}
+	return &shedder{
+		rec: rec, pred: pred, thresh: thresh,
+		window: window, trip: trip,
+		stop: make(chan struct{}),
+	}
+}
+
+// Active reports whether admission is currently refused.
+func (s *shedder) Active() bool { return s.active.Load() }
+
+// LastP99 returns the most recent windowed p99 (0 before the first
+// nonempty window).
+func (s *shedder) LastP99() float64 { return math.Float64frombits(s.p99Bits.Load()) }
+
+// RetryAfter is the back-off the 429 advertises: one evaluation window,
+// floored at a second — the soonest the guard could possibly reopen.
+func (s *shedder) RetryAfter() time.Duration {
+	if s.window > time.Second {
+		return s.window
+	}
+	return time.Second
+}
+
+// Threshold resolves the p99 ceiling in mean service times: the explicit
+// override when set, else the model's upper p99 bracket once the startup
+// solve lands. NaN means "no ceiling yet" and the guard stays open.
+func (s *shedder) Threshold() float64 {
+	if s.thresh > 0 {
+		return s.thresh
+	}
+	if s.pred != nil {
+		if snap, ready := s.pred.snapshot(); ready && snap.tailP99 {
+			return snap.p99Hi
+		}
+	}
+	return math.NaN()
+}
+
+// run evaluates one window per tick until stop is closed.
+func (s *shedder) run() {
+	t := time.NewTicker(s.window)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.tick()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// tick evaluates one window; split from run so tests can step the guard
+// without real time.
+func (s *shedder) tick() {
+	cur := s.rec.TailSketch()
+	if cur == nil {
+		return // nothing measured yet
+	}
+	p99, ok := cur.DiffQuantile(s.prev, 0.99)
+	s.prev = cur
+	thr := s.Threshold()
+	if ok {
+		s.p99Bits.Store(math.Float64bits(p99))
+	}
+	if ok && !math.IsNaN(thr) && p99 > thr {
+		if s.breaches.Add(1) >= int32(s.trip) {
+			s.active.Store(true)
+		}
+		return
+	}
+	// Healthy or empty window: reopen immediately.
+	s.breaches.Store(0)
+	s.active.Store(false)
+}
+
+func (s *shedder) close() { close(s.stop) }

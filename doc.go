@@ -338,6 +338,72 @@
 // tracking between two model-derived lines is the repository's thesis
 // as a dashboard.
 //
+// # The failure domain
+//
+// A model of N servers is only production-shaped if N can change out
+// from under it. The failure domain spans both execution engines and
+// the daemon with one semantics: servers join, leave gracefully
+// (finish the in-service job, requeue the rest), or crash (lose
+// in-service progress, orphan the queue for redelivery), and because
+// the offered load is open-loop, crashing k of N pushes every
+// survivor's utilization from ρ to ρ·N/(N−k) — which the analytics
+// already price. The headline oracle
+// (internal/lb/chaos_calibrate_test.go) drives the live farm through
+// healthy → crashed → restored and asserts the measured windowed delay
+// leaves the (N, ρ) QBD bracket and lands in the (N−k, ρ·N/(N−k)) one,
+// then comes back; examples/churn replays the same three-act script
+// with the model bracket, the simulator twin, and the live farm
+// printed side by side.
+//
+// The pieces, layer by layer:
+//
+//   - Live churn (internal/lb): Join/Leave/Crash plus Stall, Pause/
+//     Resume, and SetSlow speed faults, all safe under concurrent
+//     dispatch. SQ(d) samples from an atomically published live-server
+//     list and the min-index trees key down servers at the ceiling, so
+//     routing follows membership without a lock. Config.Chaos arms the
+//     crash-interruptible service path from the start (otherwise it
+//     arms on the first fault, and a job already sleeping uninterrupted
+//     through the very first crash completes instead of requeueing).
+//   - Deterministic mirror (internal/sim): Options.Churn replays the
+//     same event kinds on the simulator's virtual clock, so any churn
+//     scenario is seed-reproducible and cheap to sweep. A crash-at-zero
+//     schedule on (N, ρ) is pinned to agree with a direct
+//     (N−k, ρ·N/(N−k)) run, and a never-firing schedule stays
+//     bit-identical to the churn-free goldens at 0 allocs/event.
+//   - Fault schedules (internal/workload, internal/chaos): one compact
+//     grammar — "crash@200,slow@800@s=2@f=3,restore@2000" — parses to
+//     a validated, time-ordered schedule; internal/chaos resolves
+//     unassigned events onto servers with a seeded PCG (never killing
+//     the last live server) and ships storm presets. lbd -churn replays
+//     a schedule in either mode; lbd -chaos exposes POST /debug/chaos
+//     for live injection.
+//   - Timeouts, retries, hedging (internal/lb): redelivered jobs carry
+//     a per-job retry budget with jittered exponential backoff
+//     (RetryBudget, RetryBackoff); Deadline drops jobs whose service
+//     has not started in time; Hedge duplicates a slow-to-start job to
+//     a second server and cancels the loser. Every outcome lands in
+//     the Recorder's conservation ledger (completed + dropped accounts
+//     for every accepted job, requeues and retries itemized) and on the
+//     job's trace span (Retries, Outcome), exported as
+//     lbd_jobs_total{outcome} and visible per job in /debug/jobs.
+//   - SLO-guarded shedding (cmd/lbd -shed): the admission guard
+//     differences successive Recorder sketch snapshots
+//     (stats.Sketch.DiffQuantile — exact windowed quantiles from the
+//     mergeable sketch, no second accumulator) and compares the
+//     windowed p99 against the model's predicted upper bracket (or
+//     -shed-p99). Sustained breach trips the guard: POST /work answers
+//     429 with Retry-After until a healthy window reopens admission.
+//     This is the act-on-the-comparison half of ROADMAP item 4.
+//
+// Shutdown is part of the domain: lbd drains in dependency order —
+// background generator first, HTTP listener second, farm last — so a
+// SIGTERM under load cannot race fresh submissions against the drain.
+// CI smokes the whole surface (scripts/smoke_chaos.sh): churn replay
+// in loadgen mode, live crash/restore over /debug/chaos with the
+// ledger and membership gauges scraped mid-fault, and the ordered
+// drain with the generator still attached.
+//
 // # Machine-checked invariants
 //
 // The properties the headline results rest on are encoded as static

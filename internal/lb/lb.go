@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,10 @@ var ErrClosed = errors.New("lb: dispatcher is shut down")
 // queue was at capacity. The caller sees loss semantics, as a real
 // admission-controlled farm would; rejections are counted in the Summary.
 var ErrQueueFull = errors.New("lb: picked server's queue is full")
+
+// ErrNoServers reports a dispatch attempted while every server is down
+// (crashed or departed and not yet restored).
+var ErrNoServers = errors.New("lb: no live servers")
 
 // Config describes a live farm.
 type Config struct {
@@ -80,6 +85,37 @@ type Config struct {
 	// nondeterministic; the seed only decorrelates sampling choices.
 	// Default 1.
 	Seed uint64
+	// RetryBudget bounds redeliveries per job: a job orphaned by a crash
+	// or graceful leave is requeued at most RetryBudget times before it
+	// is dropped (counted, surfaced as Done.Dropped). 0 selects the
+	// default of 3; negative disables redelivery entirely.
+	RetryBudget int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// applied before a requeued job is redispatched: attempt k waits
+	// RetryBackoff × 2^(k−1), ±50% jitter, capped at 64× the base.
+	// 0 redispatches immediately.
+	RetryBackoff time.Duration
+	// Deadline bounds each job's sojourn: a job whose service has not
+	// begun Deadline after its arrival is dropped instead of served
+	// (checked on the work clock at the instant service would start).
+	// 0 = no deadline.
+	Deadline time.Duration
+	// Hedge, when > 0, arms a hedge timer per dispatched job: if service
+	// has not started Hedge after dispatch, a duplicate is routed to
+	// another server and whichever copy starts service first wins — the
+	// other copy cancels at its own service start (one completion, one
+	// record, however the race falls). Costs one allocation and one
+	// timer per job; off (0) the dispatch path is unchanged.
+	Hedge time.Duration
+	// Chaos arms the failure-domain machinery from the start: service
+	// sleeps are chunked crash-interruptible immediately, instead of
+	// only after the first fault lands. Without it, jobs already in
+	// service when the *first* crash arrives run to completion (later
+	// faults interrupt normally) — fine for a farm that never churns,
+	// surprising for one built to be crashed. Set it when churn is
+	// expected (cmd/lbd does for -churn and -chaos); it costs a few
+	// timer wake-ups per service, nothing on the dispatch path.
+	Chaos bool
 	// Trace, when non-nil, attaches a flight recorder: sampled jobs get
 	// lifecycle spans (arrival → pick → enqueue → service start →
 	// completion, with the chosen server and the queue length seen) and
@@ -123,14 +159,27 @@ func (c *Config) setDefaults() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("lb: retry backoff %v, need ≥ 0", c.RetryBackoff)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("lb: deadline %v, need ≥ 0", c.Deadline)
+	}
+	if c.Hedge < 0 {
+		return fmt.Errorf("lb: hedge %v, need ≥ 0", c.Hedge)
+	}
 	return nil
 }
 
 // Done reports one completed job.
 type Done struct {
-	Server  int           // server that ran the job
-	Sojourn time.Duration // arrival → completion
+	Server  int           // server that ran the job, −1 for a dropped job
+	Sojourn time.Duration // arrival → completion (or drop)
 	Service time.Duration // nominal service duration (work/speed × MeanService)
+	Dropped bool          // the job left unserved: deadline expired or retry budget exhausted
 }
 
 // job travels from a dispatcher to a server goroutine.
@@ -140,6 +189,16 @@ type job struct {
 	arrival time.Time
 	done    chan<- Done   // nil for fire-and-forget
 	counted *atomic.Int64 // bumped at completion; lets a submitter await its own jobs
+	// attempts counts redeliveries of this job (0 on first dispatch);
+	// bounded by Config.RetryBudget.
+	attempts int32
+	// deadlineNs is the absolute drop deadline (UnixNano), 0 = none.
+	deadlineNs int64
+	// claim arbitrates hedged copies: nil for an unhedged job; otherwise
+	// shared by every copy, and exactly one copy wins the 0→1 CAS at
+	// service start (0→2 marks a drop). The losers clean up their queue
+	// reservation and vanish without a record.
+	claim *atomic.Int32
 	// trace is the job's flight-recorder handle; meaningful only when
 	// the farm has a recorder attached (always assigned then, mostly
 	// trace.None). Ownership of the span follows the job: the dispatcher
@@ -197,6 +256,36 @@ type LB struct {
 	closeOnce sync.Once
 	accepted  atomic.Int64
 	rejected  atomic.Int64
+
+	// Failure-domain state. memberMu serializes the control-plane
+	// membership ops (Leave/Crash/Join and the injectors); the data
+	// plane reads only the per-slot atomics. stopCh is closed when
+	// Shutdown begins: it flushes pending retry backoffs, unblocks a
+	// dispatcher pause, and stops RunChurn. chClosed flips just before
+	// the server channels close; redispatch brackets against it exactly
+	// as submitAt brackets against closed. churny turns on the
+	// crash-interruptible (chunked) service sleep the first time any
+	// fault is injected, so churn-free farms keep the single-sleep path.
+	memberMu sync.Mutex
+	alive    atomic.Int32
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	chClosed atomic.Bool
+	retryWG  sync.WaitGroup
+	churny   atomic.Bool
+	pause    atomic.Pointer[chan struct{}]
+
+	// liveList is the compact list of live server ids, republished (and
+	// liveSeq bumped) under memberMu on every membership change. It
+	// exists for the degraded-mode SQ(d) pick: sampling d servers from
+	// the live set keeps the policy's law — and therefore the QBD
+	// bracket solved at (alive, ρ·N/alive) — intact while servers are
+	// down, where sampling from all N would collapse SQ(d) toward
+	// random routing on the survivors. sqdD caches the policy's d
+	// (0 when the policy is not SQ(d)).
+	sqdD     int
+	liveSeq  atomic.Uint64
+	liveList atomic.Pointer[[]int32]
 }
 
 // dispatcher is the per-goroutine picking state (the workload interfaces
@@ -207,6 +296,12 @@ type dispatcher struct {
 	rng    *rand.Rand
 	picker workload.Picker
 	view   qview
+
+	// Degraded-mode SQ(d) sampling state: a private copy of the farm's
+	// live-server list (refreshed when liveSeq moves), permuted in place
+	// by partial Fisher–Yates per pick.
+	aliveSeq  uint64
+	alivePerm []int32
 }
 
 // qview adapts the sharded table to the dispatcher's workload.Queues (and
@@ -217,9 +312,20 @@ type qview struct {
 	nowNs int64
 }
 
-func (q *qview) N() int        { return q.lb.n }
+func (q *qview) N() int { return q.lb.n }
+
+// Len reports a down server as worst-possible so length-scanning
+// pickers (SQ(d) samples, the small-N JSQ reference scan, JIQ's
+// idle-scan) route around it; admit's post-pick liveness check is then
+// only a race backstop, not the routing mechanism.
+//
 //finitelb:hotpath
-func (q *qview) Len(i int) int { return int(q.lb.slots[i].qlen.Load()) }
+func (q *qview) Len(i int) int {
+	if q.lb.slots[i].down.Load() {
+		return math.MaxInt32
+	}
+	return int(q.lb.slots[i].qlen.Load())
+}
 
 // Work implements workload.WorkQueues: the server's time-to-drain in
 // service-time units — queued (not yet started) work divided by the
@@ -227,6 +333,9 @@ func (q *qview) Len(i int) int { return int(q.lb.slots[i].qlen.Load()) }
 //finitelb:hotpath
 func (q *qview) Work(i int) float64 {
 	s := &q.lb.slots[i]
+	if s.down.Load() {
+		return math.Inf(1)
+	}
 	w := float64(s.pending.Load()) / q.lb.speeds[i]
 	if dl := s.deadline.Load(); dl != 0 {
 		if rem := dl - q.nowNs; rem > 0 {
@@ -296,13 +405,31 @@ func New(cfg Config) (*LB, error) {
 		sleep:         newSleeper(),
 		tr:            cfg.Trace,
 		epoch:         time.Now(),
+		stopCh:        make(chan struct{}),
 	}
+	lb.alive.Store(int32(cfg.N))
+	if cfg.Chaos {
+		lb.churny.Store(true)
+	}
+	if p, ok := cfg.Policy.(workload.SQD); ok {
+		lb.sqdD = p.D
+	}
+	full := make([]int32, cfg.N)
+	for i := range full { //lint:allow atomicfield list is plain-built before the publishing Store, immutable after; the Store is the release fence
+		full[i] = int32(i)
+	}
+	lb.liveList.Store(&full)
 	_, lb.jiq = cfg.Policy.(workload.JIQ)
 	_, lb.workAware = cfg.Policy.(workload.WorkAware)
 	if cfg.N >= minindex.Threshold {
 		switch cfg.Policy.(type) {
 		case workload.JSQ:
 			lb.lenTree = minindex.NewConc(cfg.N, func(i int) uint32 {
+				if lb.slots[i].down.Load() {
+					// A down server keys at the ceiling so the argmin
+					// routes around it whenever anyone is alive.
+					return ^uint32(0)
+				}
 				if l := lb.slots[i].qlen.Load(); l > 0 {
 					return uint32(l)
 				}
@@ -310,6 +437,9 @@ func New(cfg Config) (*LB, error) {
 			})
 		case workload.LWL:
 			lb.workTree = minindex.NewConc(cfg.N, func(i int) uint32 {
+				if lb.slots[i].down.Load() {
+					return ^uint32(0)
+				}
 				us := float64(lb.slots[i].outwork.Load()) / lb.speeds[i] / 1e3
 				if us >= float64(^uint32(0)) {
 					return ^uint32(0)
@@ -416,6 +546,11 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 		//lint:allow hotpath rejected-input error exit; never taken on the accept path
 		return -1, fmt.Errorf("lb: job work %v outside (0, 1e9]", work)
 	}
+	if p := lb.pause.Load(); p != nil {
+		if err := lb.pauseWait(p); err != nil {
+			return -1, err
+		}
+	}
 	if lb.closed.Load() {
 		return -1, ErrClosed
 	}
@@ -432,10 +567,24 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 	if lb.workAware {
 		d.view.nowNs = arrival.UnixNano()
 	}
-	j, target, ok := lb.admit(d, arrival, work, done, counted)
+	j := job{work: work, arrival: arrival, done: done, counted: counted, trace: trace.None}
+	if lb.tr != nil {
+		j.trace = lb.tr.Start(lb.rel(arrival))
+	}
+	if lb.cfg.Deadline > 0 {
+		j.deadlineNs = arrival.Add(lb.cfg.Deadline).UnixNano()
+	}
+	target, err := lb.admit(d, &j)
 	lb.dispatchers.Put(d)
-	if !ok {
-		return target, ErrQueueFull
+	if err != nil {
+		if j.trace >= 0 {
+			lb.tr.Abort(j.trace)
+		}
+		return target, err
+	}
+	lb.accepted.Add(1)
+	if lb.cfg.Hedge > 0 {
+		lb.armHedge(&j, target)
 	}
 	if j.trace >= 0 {
 		lb.tr.Enqueued(j.trace, lb.rel(time.Now()))
@@ -447,30 +596,51 @@ func (lb *LB) submitAt(arrival time.Time, work float64, done chan<- Done, counte
 	return target, nil
 }
 
-// admit is the per-job admission stage shared by submitAt and
-// submitBurst: pick a target with the caller's dispatcher (the caller
-// sets d.view.nowNs under a work-aware policy), reserve a queue slot,
-// and update every ledger and index. ok = false means the picked
-// server's queue was full; the rejection is counted and nothing needs
-// unwinding. The caller owns the channel send.
+// admit is the per-job admission stage shared by submitAt, submitBurst
+// and the redelivery path: pick a live target with the caller's
+// dispatcher (the caller sets d.view.nowNs under a work-aware policy),
+// reserve a queue slot, and update every ledger and index. The job is
+// prebuilt by the caller — admit never creates or aborts trace spans
+// and never counts acceptance, so redeliveries of an already-accepted
+// job reuse it unchanged. ErrQueueFull means the picked server's queue
+// was full (the rejection is counted, nothing needs unwinding);
+// ErrNoServers means every server is down. The caller owns the send.
 //finitelb:hotpath
-func (lb *LB) admit(d *dispatcher, arrival time.Time, work float64, done chan<- Done, counted *atomic.Int64) (job, int, bool) {
-	th := trace.None
-	if lb.tr != nil {
-		th = lb.tr.Start(lb.rel(arrival))
-	}
+func (lb *LB) admit(d *dispatcher, j *job) (int, error) {
 	var target int
 	if lb.jiq {
-		// JIQ fast path: pop an idle hint in O(1); fall back to a uniform
-		// pick when nobody has reported idle.
-		var ok bool
-		if target, ok = lb.idle.tryPop(); ok {
+		// JIQ fast path: pop an idle hint in O(1), discarding hints from
+		// servers that went down since they reported idle; fall back to a
+		// uniform pick when nobody live has reported idle.
+		for {
+			var ok bool
+			if target, ok = lb.idle.tryPop(); !ok {
+				target = d.rng.IntN(lb.n)
+				break
+			}
 			lb.slots[target].onStack.Store(false)
-		} else {
-			target = d.rng.IntN(lb.n)
+			if !lb.slots[target].down.Load() {
+				break
+			}
+		}
+	} else if lb.sqdD > 0 && lb.alive.Load() < int32(lb.n) {
+		// Degraded farm under SQ(d): sample from the live set, not all N.
+		// Healthy farms never take this branch, so their picker draw
+		// sequence is untouched.
+		target = lb.pickSQDLive(d)
+		if target < 0 {
+			return -1, ErrNoServers
 		}
 	} else {
 		target = d.picker.Pick(d.rng, &d.view)
+	}
+	if lb.slots[target].down.Load() {
+		// The policy's pick raced a membership change (or scans a view
+		// that doesn't know about liveness): probe for the next live
+		// server instead of bouncing the job.
+		if target = lb.nextAlive(target, d); target < 0 {
+			return -1, ErrNoServers
+		}
 	}
 	s := &lb.slots[target]
 	newLen := s.qlen.Add(1)
@@ -479,31 +649,82 @@ func (lb *LB) admit(d *dispatcher, arrival time.Time, work float64, done chan<- 
 		// so there is nothing to repair.
 		s.qlen.Add(-1)
 		lb.rejected.Add(1)
-		if lb.tr != nil {
-			lb.tr.Abort(th)
-		}
-		return job{}, target, false
+		return target, ErrQueueFull
 	}
 	if lb.lenTree != nil {
 		lb.lenTree.Update(target)
 	}
 	lb.rec.observeQueue(int(newLen))
-	j := job{work: work, arrival: arrival, done: done, counted: counted, trace: th}
-	if th >= 0 {
+	if j.trace >= 0 {
 		// One clock read per sampled job; live pickers don't report tie
-		// counts (the simulator's side of the recorder does).
-		lb.tr.Picked(th, lb.rel(time.Now()), target, int(newLen-1), -1)
+		// counts (the simulator's side of the recorder does). A
+		// redelivery re-stamps, so the span shows the final routing.
+		lb.tr.Picked(j.trace, lb.rel(time.Now()), target, int(newLen-1), -1)
 	}
 	if lb.workAware {
-		j.workNs = int64(work * lb.meanServiceNs)
+		j.workNs = int64(j.work * lb.meanServiceNs)
 		s.pending.Add(j.workNs)
 		if lb.workTree != nil {
 			s.outwork.Add(j.workNs)
 			lb.workTree.Update(target)
 		}
 	}
-	lb.accepted.Add(1)
-	return j, target, true
+	return target, nil
+}
+
+// pickSQDLive is the degraded-mode SQ(d) pick: d distinct samples drawn
+// by partial Fisher–Yates over the dispatcher's copy of the live-server
+// list, least queue wins with uniform tie-breaking — the same law as
+// workload.SQD's picker, restricted to the survivors. The copy refreshes
+// whenever membership moves (liveSeq); a pick landing on a server that
+// went down after the copy is repaired by admit's liveness backstop.
+// Returns −1 only if the live list is empty (alive ≥ 1 is a membership
+// invariant, so in practice only during teardown races).
+func (lb *LB) pickSQDLive(d *dispatcher) int {
+	if seq := lb.liveSeq.Load(); seq != d.aliveSeq || len(d.alivePerm) == 0 {
+		d.alivePerm = append(d.alivePerm[:0], *lb.liveList.Load()...)
+		d.aliveSeq = seq
+	}
+	perm := d.alivePerm
+	m := len(perm)
+	if m == 0 {
+		return -1
+	}
+	dd := lb.sqdD
+	if dd > m {
+		dd = m
+	}
+	best, bestLen, ties := -1, math.MaxInt, 0
+	for k := 0; k < dd; k++ {
+		j := k + d.rng.IntN(m-k)
+		perm[k], perm[j] = perm[j], perm[k]
+		s := int(perm[k])
+		switch l := int(lb.slots[s].qlen.Load()); {
+		case l < bestLen:
+			best, bestLen, ties = s, l, 1
+		case l == bestLen:
+			ties++
+			if d.rng.IntN(ties) == 0 {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// nextAlive scans for a live server starting after from; a uniformly
+// random rotation decorrelates concurrent dispatchers racing the same
+// membership change. Returns −1 when every server is down.
+//finitelb:hotpath
+func (lb *LB) nextAlive(from int, d *dispatcher) int {
+	off := d.rng.IntN(lb.n)
+	for k := 0; k < lb.n; k++ {
+		i := (from + 1 + off + k) % lb.n
+		if !lb.slots[i].down.Load() {
+			return i
+		}
+	}
+	return -1
 }
 
 // burstScratch is the reusable staging area of one generator goroutine's
@@ -528,6 +749,11 @@ func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.In
 	if len(works) == 0 {
 		return 0, nil
 	}
+	if p := lb.pause.Load(); p != nil {
+		if err := lb.pauseWait(p); err != nil {
+			return 0, err
+		}
+	}
 	if lb.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -551,15 +777,29 @@ func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.In
 	if lb.workAware {
 		d.view.nowNs = arrival.UnixNano()
 	}
+	deadlineNs := int64(0)
+	if lb.cfg.Deadline > 0 {
+		deadlineNs = arrival.Add(lb.cfg.Deadline).UnixNano()
+	}
 	sc.jobs = sc.jobs[:0]
 	sc.targets = sc.targets[:0]
 	for _, work := range works {
-		if j, target, ok := lb.admit(d, arrival, work, nil, counted); ok {
-			//lint:allow hotpath scratch capacity is Batch-sized at construction; appends never grow it
-			sc.jobs = append(sc.jobs, j)
-			//lint:allow hotpath scratch capacity is Batch-sized at construction; appends never grow it
-			sc.targets = append(sc.targets, int32(target))
+		j := job{work: work, arrival: arrival, counted: counted, deadlineNs: deadlineNs, trace: trace.None}
+		if lb.tr != nil {
+			j.trace = lb.tr.Start(lb.rel(arrival))
 		}
+		target, err := lb.admit(d, &j)
+		if err != nil {
+			if j.trace >= 0 {
+				lb.tr.Abort(j.trace)
+			}
+			continue
+		}
+		lb.accepted.Add(1)
+		//lint:allow hotpath scratch capacity is Batch-sized at construction; appends never grow it
+		sc.jobs = append(sc.jobs, j)
+		//lint:allow hotpath scratch capacity is Batch-sized at construction; appends never grow it
+		sc.targets = append(sc.targets, int32(target))
 	}
 	lb.dispatchers.Put(d)
 	accepted := len(sc.jobs)
@@ -613,17 +853,37 @@ func (lb *LB) submitBurst(arrival time.Time, works []float64, counted *atomic.In
 type DrainStats struct {
 	Completed int64 // jobs fully served (including warmup)
 	Rejected  int64 // jobs refused on a full queue over the farm's lifetime
+	Dropped   int64 // jobs dropped after acceptance: deadline, retry budget, or a redelivery overtaken by shutdown
 	Abandoned int64 // jobs still queued when the drain deadline expired
 }
 
-// Shutdown stops admission and drains: it waits for in-flight dispatches,
-// closes the server queues, and blocks until every queued job completes
-// or ctx expires. Jobs are never lost — on deadline expiry the remaining
-// ones are counted in Abandoned (and the servers keep draining them in
-// the background; a later Shutdown call observes the progress). Safe to
-// call multiple times.
+// Shutdown stops admission and drains: it waits for in-flight
+// dispatches, flushes pending retry backoffs, closes the server queues,
+// and blocks until every queued job completes or ctx expires. Every
+// accepted job is accounted for: served (Completed), dropped with a
+// count and a final-outcome span (Dropped — deadline expiry, exhausted
+// redelivery budget, or a redelivery whose only remaining targets were
+// down), or — on deadline expiry only — still queued (Abandoned; the
+// servers keep draining in the background and a later Shutdown call
+// observes the progress). Safe to call multiple times.
 func (lb *LB) Shutdown(ctx context.Context) (DrainStats, error) {
 	lb.closed.Store(true)
+	lb.stopOnce.Do(func() { close(lb.stopCh) })
+	// A paused dispatcher would hold submitters (and RunChurn timers)
+	// forever; release them so they observe closed and exit.
+	lb.ResumeDispatch()
+	// External submissions quiesce first, then the retry goroutines —
+	// stopCh made every pending backoff flush its redelivery
+	// immediately, and those sends are synchronous in the goroutines
+	// retryWG tracks.
+	lb.inflight.Wait()
+	lb.retryWG.Wait()
+	// The only senders left are server goroutines redelivering jobs off
+	// down servers. Those sends bracket in inflight against chClosed the
+	// way submitAt brackets against closed, so after this second Wait no
+	// send can race the close below; later redeliveries observe chClosed
+	// and finalize as drops instead.
+	lb.chClosed.Store(true)
 	lb.inflight.Wait()
 	lb.closeOnce.Do(func() {
 		for _, s := range lb.servers {
@@ -635,15 +895,23 @@ func (lb *LB) Shutdown(ctx context.Context) (DrainStats, error) {
 		lb.srvWG.Wait()
 		close(done)
 	}()
+	stats := func() DrainStats {
+		return DrainStats{
+			Completed: lb.rec.Completed(),
+			Rejected:  lb.rejected.Load(),
+			Dropped:   lb.rec.dropped.Load(),
+		}
+	}
 	select {
 	case <-done:
-		return DrainStats{Completed: lb.rec.Completed(), Rejected: lb.rejected.Load()}, nil
+		return stats(), nil
 	case <-ctx.Done():
 		// accepted is frozen (admission is closed), so accepted −
-		// completed is an exact cut of the still-queued jobs — no window
-		// against racing completions, unlike summing live queue lengths.
-		st := DrainStats{Completed: lb.rec.Completed(), Rejected: lb.rejected.Load()}
-		st.Abandoned = lb.accepted.Load() - st.Completed
+		// completed − dropped is an exact cut of the still-queued jobs —
+		// no window against racing completions, unlike summing live
+		// queue lengths.
+		st := stats()
+		st.Abandoned = lb.accepted.Load() - st.Completed - st.Dropped
 		return st, ctx.Err()
 	}
 }

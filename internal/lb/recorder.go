@@ -34,6 +34,13 @@ type Recorder struct {
 	completed  atomic.Int64 // total completions, including warmup
 	maxQueue   atomic.Int64 // largest queue length reserved by a dispatch
 
+	// Per-outcome job counters — the failure-domain ledger beside the
+	// delay statistics (exported by cmd/lbd as lbd_jobs_total{outcome}).
+	requeued atomic.Int64 // job copies sent back through dispatch (crash/leave/hedge)
+	retried  atomic.Int64 // redeliveries that re-entered a queue
+	shed     atomic.Int64 // admissions refused by an SLO guard (NoteShed)
+	dropped  atomic.Int64 // accepted jobs that left unserved (deadline, budget, shutdown)
+
 	shards []recShard
 	mask   int
 }
@@ -96,6 +103,36 @@ func (r *Recorder) observeQueue(l int) {
 // Completed returns the total completions so far, including warmup.
 func (r *Recorder) Completed() int64 { return r.completed.Load() }
 
+// Outcomes is the per-outcome job ledger. Completed counts jobs served
+// to the end; Requeued counts copies sent back through dispatch after a
+// crash, graceful leave, or hedge; Retried counts redeliveries that
+// re-entered a queue; Shed counts admissions refused by an SLO guard
+// (see NoteShed); Dropped counts accepted jobs that left unserved —
+// deadline expiry, exhausted redelivery budget, or shutdown overtaking
+// a redelivery. At quiescence, accepted = Completed + Dropped.
+type Outcomes struct {
+	Completed int64
+	Requeued  int64
+	Retried   int64
+	Shed      int64
+	Dropped   int64
+}
+
+// Outcomes snapshots the per-outcome counters.
+func (r *Recorder) Outcomes() Outcomes {
+	return Outcomes{
+		Completed: r.completed.Load(),
+		Requeued:  r.requeued.Load(),
+		Retried:   r.retried.Load(),
+		Shed:      r.shed.Load(),
+		Dropped:   r.dropped.Load(),
+	}
+}
+
+// NoteShed books one admission refused by a load-shedding guard above
+// the farm (cmd/lbd's SLO gate); the farm itself never sheds.
+func (r *Recorder) NoteShed() { r.shed.Add(1) }
+
 // Summary is a point-in-time statistical snapshot of the live system, in
 // the simulator's units: times are multiples of the configured mean
 // service.
@@ -124,6 +161,10 @@ type Summary struct {
 	// excess means the host's timers are inflating service (and therefore
 	// every delay above).
 	MeanService float64
+
+	// Outcomes is the per-outcome job ledger (requeues, retries, sheds,
+	// drops beside the completions).
+	Outcomes Outcomes
 }
 
 // merge pools every shard into one fresh stream; callers get exactly the
@@ -155,6 +196,7 @@ func (r *Recorder) Snapshot() Summary {
 		MaxQueue:    int(r.maxQueue.Load()),
 		MeanService: service.Mean(),
 		Overflow:    merged.Overflow(),
+		Outcomes:    r.Outcomes(),
 	}
 	if merged.N() > 0 {
 		s.P50 = merged.Quantile(0.50)
@@ -175,6 +217,20 @@ func (r *Recorder) TailBuckets(max int) []stats.TailBucket {
 		return nil
 	}
 	return merged.Sketch.CumulativeBuckets(max)
+}
+
+// TailSketch returns a deep copy of the pooled sojourn sketch, or nil
+// before any measurement. Successive snapshots difference into
+// windowed quantiles via stats.(*Sketch).DiffQuantile — the measured
+// side of cmd/lbd's SLO-guarded load shedding.
+func (r *Recorder) TailSketch() *stats.Sketch {
+	merged, _ := r.merge()
+	if merged.Sketch == nil || merged.N() == 0 {
+		return nil
+	}
+	c := stats.NewSketch(stats.DefaultAlpha, stats.DefaultSketchBudget)
+	c.Merge(merged.Sketch)
+	return c
 }
 
 // StateBytes reports the total accumulator footprint across shards — the

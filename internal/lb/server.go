@@ -1,6 +1,7 @@
 package lb
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -60,13 +61,50 @@ func (s *server) run(lb *LB) {
 }
 
 // serve renders one job and books its completion, returning the advanced
-// work clock.
+// work clock. On a down server it instead redelivers the job (the
+// down-drain); it also resolves the job's hedge claim, deadline, and any
+// injected stall/slowdown, and aborts into the retry path when a crash
+// interrupts the service sleep.
 func (s *server) serve(lb *LB, slot *slot, busyUntil time.Time, j job) time.Time {
+	if slot.down.Load() {
+		// Down-drain: a departed/crashed server requeues everything it
+		// dequeues. The job never started, so the full reservation
+		// unwinds; no idle report from a down server.
+		s.dequeue(lb, slot, &j, false, false)
+		lb.scheduleRetry(j, time.Now())
+		return busyUntil
+	}
+	if j.claim != nil && !j.claim.CompareAndSwap(0, 1) {
+		// Another copy of this hedged job won the service race (or the
+		// job was dropped): release the reservation and vanish — the
+		// winner owns the record, the counted bump, and the done send.
+		s.dequeue(lb, slot, &j, false, true)
+		return busyUntil
+	}
 	start := j.arrival
 	if busyUntil.After(start) {
 		start = busyUntil
 	}
+	if st := slot.stallUntil.Load(); st != 0 {
+		if t := time.Unix(0, st); t.After(start) {
+			start = t
+		} else {
+			// Expired: clear, but never clobber a fresher stall (CAS).
+			slot.stallUntil.CompareAndSwap(st, 0)
+		}
+	}
+	if j.deadlineNs != 0 && start.UnixNano() > j.deadlineNs {
+		// The deadline expires before service would begin on the ideal
+		// schedule: drop instead of serving. The claim (if any) is
+		// already owned, so the drop counts unconditionally.
+		s.dequeue(lb, slot, &j, false, true)
+		lb.finalizeDrop(j, time.Now(), true)
+		return busyUntil
+	}
 	dur := time.Duration(j.work / s.speed * lb.meanServiceNs)
+	if f := slot.slowBits.Load(); f != 0 {
+		dur = time.Duration(float64(dur) * math.Float64frombits(f))
+	}
 	deadline := start.Add(dur)
 	if j.trace >= 0 {
 		// start is the work-clock (ideal-schedule) instant — it can
@@ -79,11 +117,22 @@ func (s *server) serve(lb *LB, slot *slot, busyUntil time.Time, j job) time.Time
 		slot.pending.Add(-j.workNs)
 		slot.deadline.Store(deadline.UnixNano())
 	}
-	lb.sleep.sleepUntil(deadline)
+	completed := s.sleepService(lb, slot, deadline)
 	if lb.workAware {
 		slot.deadline.Store(0)
 	}
-	if slot.qlen.Add(-1) == 0 && lb.jiq {
+	if !completed {
+		// Crash interrupt: the partial service is lost. The job goes
+		// back to unclaimed (a hedge copy may pick it up) and into the
+		// retry path; pending already left the ledger at service start.
+		s.dequeue(lb, slot, &j, true, false)
+		if j.claim != nil {
+			j.claim.Store(0)
+		}
+		lb.scheduleRetry(j, time.Now())
+		return busyUntil
+	}
+	if slot.qlen.Add(-1) == 0 && lb.jiq && !slot.down.Load() {
 		// Queue drained: report idle (push at most once — the flag
 		// guards against a stale stack entry from a fallback dispatch).
 		if slot.onStack.CompareAndSwap(false, true) {
@@ -111,4 +160,53 @@ func (s *server) serve(lb *LB, slot *slot, busyUntil time.Time, j job) time.Time
 		j.done <- Done{Server: s.id, Sojourn: end.Sub(j.arrival), Service: dur}
 	}
 	return deadline
+}
+
+// dequeue unwinds a queue reservation for a job leaving this server
+// unserved — the reverse of admit. started says the job already left
+// the pending ledger at service start; jiqPush lets a live server
+// report idle if this drained its queue.
+func (s *server) dequeue(lb *LB, slot *slot, j *job, started, jiqPush bool) {
+	if lb.workAware && !started {
+		slot.pending.Add(-j.workNs)
+	}
+	if slot.qlen.Add(-1) == 0 && jiqPush && lb.jiq && !slot.down.Load() {
+		if slot.onStack.CompareAndSwap(false, true) {
+			lb.idle.push(s.id)
+		}
+	}
+	if lb.lenTree != nil {
+		lb.lenTree.Update(s.id)
+	}
+	if lb.workTree != nil {
+		slot.outwork.Add(-j.workNs)
+		lb.workTree.Update(s.id)
+	}
+}
+
+// sleepService renders the service duration, returning false if a
+// crash interrupted it. Churn-free farms (churny never set) keep the
+// single compensated sleep; once any fault has been injected the sleep
+// is chunked at crashPoll so a crash lands mid-service instead of
+// waiting the job out.
+func (s *server) sleepService(lb *LB, slot *slot, deadline time.Time) bool {
+	if !lb.churny.Load() {
+		lb.sleep.sleepUntil(deadline)
+		return true
+	}
+	for {
+		if slot.crashed.Load() {
+			return false
+		}
+		now := time.Now()
+		rem := deadline.Sub(now)
+		if rem <= 0 {
+			return true
+		}
+		if rem > crashPoll {
+			lb.sleep.sleepUntil(now.Add(crashPoll))
+		} else {
+			lb.sleep.sleepUntil(deadline)
+		}
+	}
 }

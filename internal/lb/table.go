@@ -26,6 +26,14 @@ type slot struct {
 	// when that index is active (policy LWL at N ≥ minindex.Threshold);
 	// the scan path keeps reading pending + deadline.
 	outwork atomic.Int64
+	// stallUntil is the instant (UnixNano) until which the server is
+	// frozen by a fault injection: service starts are pushed past it.
+	// 0 = not stalled.
+	stallUntil atomic.Int64
+	// slowBits is the float64 bit pattern of the server's
+	// speed-degradation factor (service durations multiply by it);
+	// 0 = no degradation.
+	slowBits atomic.Uint64
 	// qlen is the queue length including the job in service — the value
 	// behind the workload.Queues view every picker samples. The dispatcher
 	// increments it to reserve a queue position (rolling back on a full
@@ -36,8 +44,14 @@ type slot struct {
 	// onStack guards against double-pushing this server onto the JIQ idle
 	// stack: only a false→true transition pushes.
 	onStack atomic.Bool
+	// down marks the server out of the farm (Leave/Crash): pickers route
+	// around it and its goroutine requeues everything it dequeues.
+	down atomic.Bool
+	// crashed additionally interrupts the in-service job (the chunked
+	// service sleep polls it); cleared on Join.
+	crashed atomic.Bool
 
-	_ [128 - 8 - 8 - 8 - 4 - 1]byte
+	_ [128 - 8 - 8 - 8 - 8 - 8 - 4 - 1 - 1 - 1]byte
 }
 
 // table is the farm's sharded atomic state, one padded slot per server.

@@ -50,6 +50,7 @@ func Analyzers() []*analysis.Analyzer {
 var deterministicPkgs = map[string]bool{
 	"finitelb":                     true,
 	"finitelb/internal/asym":       true,
+	"finitelb/internal/chaos":      true,
 	"finitelb/internal/embedded":   true,
 	"finitelb/internal/engine":     true,
 	"finitelb/internal/figures":    true,

@@ -181,6 +181,80 @@ func TestConcConcurrentConvergence(t *testing.T) {
 	}
 }
 
+// TestConcChurnQuiescence models the failure domain's use of the index:
+// while workers mutate queue-length keys, other workers take servers in
+// and out of membership by masking their keys at the sentinel (how
+// internal/lb's view reports down servers, so scanning pickers route
+// around them) and restoring a real key on rejoin. At each quiescent
+// point the tree's min, tie count, and argmin must match a naive scan
+// of the final table — membership flaps leave no residue. Run under
+// `go test -race -count=3` (CI's race job).
+func TestConcChurnQuiescence(t *testing.T) {
+	const (
+		n       = 128
+		workers = 8
+		rounds  = 30
+		opsEach = 300
+		masked  = padKey // clamped to padKey-1 inside Update, like a down server's view
+	)
+	var keys [n]atomic.Uint32
+	tr := NewConc(n, func(i int) uint32 { return keys[i].Load() })
+	rng := rand.New(rand.NewPCG(21, 34))
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, uint64(round)))
+				churner := seed%2 == 0
+				for op := 0; op < opsEach; op++ {
+					i := r.IntN(n)
+					switch {
+					case churner && r.IntN(4) == 0:
+						// Leave: mask the server out of every scan.
+						keys[i].Store(masked)
+					case churner:
+						// Join (or rejoin): back with a real queue length.
+						keys[i].Store(uint32(r.IntN(5)))
+					default:
+						// Regular enqueue/complete traffic on whatever
+						// membership state the server is in.
+						keys[i].Store(uint32(r.IntN(8)))
+					}
+					tr.Update(i)
+					if op%16 == 0 {
+						_ = tr.Argmin(r)
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+
+		snap := make([]uint32, n)
+		for i := range snap {
+			v := keys[i].Load()
+			if v >= padKey {
+				v = padKey - 1 // Update's clamp; the scan must compare what the tree stored
+			}
+			snap[i] = v
+		}
+		best, cnt := naiveMin(snap)
+		if tr.Min() != best {
+			t.Fatalf("round %d: quiescent Min = %d, scan %d", round, tr.Min(), best)
+		}
+		if _, c := unpack(tr.node[1].Load()); int(c) != cnt {
+			t.Fatalf("round %d: quiescent tie count = %d, scan %d", round, c, cnt)
+		}
+		for k := 0; k < 20; k++ {
+			if am := tr.Argmin(rng); snap[am] != best {
+				t.Fatalf("round %d: quiescent Argmin %d holds %d, min is %d", round, am, snap[am], best)
+			}
+		}
+	}
+}
+
 // TestConcPaddingNeverWins: keys saturated at the padding sentinel still
 // return a real leaf.
 func TestConcPaddingNeverWins(t *testing.T) {

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"finitelb/internal/stats"
+	"finitelb/internal/workload"
+)
+
+// This file is the simulator's side of the failure domain: churn
+// schedule validation and the event-loop hooks that apply membership
+// changes on model time. The semantics deliberately mirror
+// internal/lb's flag-based membership — crash loses in-service
+// progress and redistributes the queue, leave drains gracefully, SQ(d)
+// samples among survivors while servers are down — so a live chaos
+// scenario replays here seed-deterministically (see Options.Churn).
+
+// validateChurn checks a schedule against the farm size and returns a
+// defensive copy, nil for no churn. Every event needs an explicit
+// server (internal/chaos.Resolve assigns them deterministically);
+// stall/pause/resume have wall-clock semantics with no model-time
+// analogue and are rejected. Membership is tracked through the
+// schedule so a run can never go all-down or double-fault.
+func validateChurn(c *workload.Churn, n int) ([]workload.ChurnEvent, error) {
+	if c == nil || len(c.Events) == 0 {
+		return nil, nil
+	}
+	evs := make([]workload.ChurnEvent, len(c.Events))
+	copy(evs, c.Events)
+	down := make([]bool, n)
+	alive := n
+	last := math.Inf(-1)
+	for k, ev := range evs {
+		if ev.T < last {
+			return nil, fmt.Errorf("sim: churn event #%d (%v) is out of time order", k, ev)
+		}
+		last = ev.T
+		switch ev.Kind {
+		case workload.ChurnStall, workload.ChurnPause, workload.ChurnResume:
+			return nil, fmt.Errorf("sim: churn event %v is live-only (wall-clock semantics); the simulator rejects it", ev)
+		}
+		if ev.Server < 0 {
+			return nil, fmt.Errorf("sim: churn event %v has no server; resolve the schedule with internal/chaos.Resolve first", ev)
+		}
+		if ev.Server >= n {
+			return nil, fmt.Errorf("sim: churn event %v targets server %d, farm has %d", ev, ev.Server, n)
+		}
+		switch ev.Kind {
+		case workload.ChurnCrash, workload.ChurnLeave:
+			if down[ev.Server] {
+				return nil, fmt.Errorf("sim: churn event %v targets a server that is already down", ev)
+			}
+			if alive == 1 {
+				return nil, fmt.Errorf("sim: churn event %v would take down the last live server", ev)
+			}
+			down[ev.Server] = true
+			alive--
+		case workload.ChurnRestore:
+			if !down[ev.Server] {
+				return nil, fmt.Errorf("sim: churn event %v restores a server that is already up", ev)
+			}
+			down[ev.Server] = false
+			alive++
+		}
+	}
+	return evs, nil
+}
+
+// rebuildLive regenerates the compact live-server list after a
+// membership change.
+func (f *farm) rebuildLive() {
+	f.live = f.live[:0]
+	for i := range f.servers {
+		if !f.down[i] {
+			f.live = append(f.live, i)
+		}
+	}
+}
+
+// nextAlive probes deterministically for the first live server after
+// from — the backstop for policies whose pick doesn't read queue
+// lengths (round-robin, random) and so can land on a down server
+// despite the masked view.
+func (f *farm) nextAlive(from int) int {
+	n := len(f.servers)
+	for k := 1; k <= n; k++ {
+		if i := (from + k) % n; !f.down[i] {
+			return i
+		}
+	}
+	return from // unreachable: validation keeps ≥ 1 server live
+}
+
+// pickSQDLive is the degraded-mode SQ(d) pick, mirroring
+// internal/lb.(*LB).pickSQDLive: d distinct samples by partial
+// Fisher–Yates over the live-server list, least queue wins with
+// uniform tie-breaking. Sampling from the survivors (rather than all N
+// with dead entries masked) is what keeps SQ(d)'s law — and the QBD
+// bracket solved at (alive, ρ·N/alive) — intact through churn.
+func (f *farm) pickSQDLive(rng *rand.Rand, d int) int {
+	live := f.live
+	m := len(live)
+	if d > m {
+		d = m
+	}
+	best, bestLen, ties := -1, math.MaxInt, 0
+	for k := 0; k < d; k++ {
+		j := k + rng.IntN(m-k)
+		live[k], live[j] = live[j], live[k]
+		s := live[k]
+		switch l := f.servers[s].length(); {
+		case l < bestLen:
+			best, bestLen, ties = s, l, 1
+		case l == bestLen:
+			ties++
+			if rng.IntN(ties) == 0 {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// pickLive routes one job on a possibly-degraded farm. Churn-free runs
+// (downCnt always 0) go straight to the policy picker with the exact
+// historical draw sequence.
+func pickLive(rng *rand.Rand, picker workload.Picker, queues workload.Queues, wf *farm, sqdD int) int {
+	if wf.downCnt > 0 && sqdD > 0 {
+		return wf.pickSQDLive(rng, sqdD)
+	}
+	best := picker.Pick(rng, queues)
+	if wf.downCnt > 0 && wf.down[best] {
+		best = wf.nextAlive(best)
+	}
+	return best
+}
+
+// applyChurnSim applies one schedule event to the farm at model time
+// ev.T. Allocation here is fine — churn events are control-plane-rare
+// next to the event loop's per-arrival work.
+func applyChurnSim(ev workload.ChurnEvent, wf *farm, trk *tracker, rng *rand.Rand, svc workload.Service, w *wiring, picker workload.Picker, queues workload.Queues, res *stats.Stream) {
+	i := ev.Server
+	switch ev.Kind {
+	case workload.ChurnSlow:
+		wf.slow[i] = ev.Factor
+		return
+	case workload.ChurnRestore:
+		wf.down[i] = false
+		wf.downCnt--
+		wf.rebuildLive()
+		wf.note(i)
+		return
+	}
+
+	// Crash or leave. Drain the queue into scratch first: the ring only
+	// pops from the head, and a graceful leave keeps the in-service job
+	// (scratch[0]) on the server.
+	sv := &wf.servers[i]
+	type orphan struct{ arrived, req float64 }
+	scratch := make([]orphan, 0, sv.length())
+	for sv.length() > 0 {
+		idx := sv.head & uint32(len(sv.arrivals)-1)
+		o := orphan{arrived: sv.arrivals[idx]}
+		if sv.work != nil {
+			o.req = sv.work[idx]
+		}
+		sv.head++
+		scratch = append(scratch, o)
+	}
+	sv.pending = 0
+	orphans := scratch
+	if ev.Kind == workload.ChurnLeave && len(scratch) > 0 {
+		// The in-service job completes in place; its tracker entry and
+		// completion time are already correct.
+		if sv.work != nil {
+			sv.pushWork(scratch[0].arrived, scratch[0].req)
+		} else {
+			sv.push(scratch[0].arrived)
+		}
+		orphans = scratch[1:]
+	} else {
+		// Crash: in-service progress is lost; a re-executed job draws a
+		// fresh requirement at its new service start (under a work-aware
+		// policy the original requirement travels with the job).
+		sv.completion = math.Inf(1)
+		trk.update(i, math.Inf(1))
+	}
+	wf.down[i] = true
+	wf.downCnt++
+	wf.rebuildLive()
+	wf.note(i) // masks the server out of the min-indexes
+
+	// Redistribute the orphans through the dispatch policy at the event
+	// instant, arrival stamps preserved — the lost time surfaces in the
+	// measured sojourns, exactly as live redelivery does.
+	wf.now = ev.T
+	for _, o := range orphans {
+		best := pickLive(rng, picker, queues, wf, w.sqdD)
+		tsv := &wf.servers[best]
+		if w.workAware {
+			tsv.pushWork(o.arrived, o.req)
+			if tsv.length() == 1 {
+				x := o.req / w.speeds[best]
+				if wf.slow[best] != 1 {
+					x *= wf.slow[best]
+				}
+				tsv.completion = ev.T + x
+				trk.update(best, tsv.completion)
+			} else {
+				tsv.pending += o.req
+			}
+		} else {
+			tsv.push(o.arrived)
+			if tsv.length() == 1 {
+				x := svc.Sample(rng) / w.speeds[best]
+				if wf.slow[best] != 1 {
+					x *= wf.slow[best]
+				}
+				tsv.completion = ev.T + x
+				trk.update(best, tsv.completion)
+			}
+		}
+		wf.note(best)
+		res.ObserveQueue(tsv.length())
+	}
+}

@@ -77,6 +77,26 @@ type Options struct {
 	// streams share the recorder; span Seq is then the per-stream
 	// arrival rank, not a global order.
 	Trace *trace.Recorder
+
+	// Churn, when non-nil, replays a membership/fault schedule on model
+	// time — the simulator twin of the live farm's failure domain, so
+	// every chaos scenario is seed-reproducible. Events must carry
+	// explicit servers (resolve a parsed spec with internal/chaos.Resolve
+	// first) and be sorted by time; stall/pause/resume are live-only
+	// (wall-clock semantics) and are rejected here. Semantics per event:
+	// crash loses the in-service job's progress and redistributes the
+	// whole queue through the dispatch policy at the event instant
+	// (arrival stamps preserved, so lost time shows up in the sojourns;
+	// a re-executed job draws a fresh requirement); leave lets the
+	// in-service job complete and redistributes only the waiting jobs;
+	// slow multiplies service durations starting after the event. While
+	// servers are down, SQ(d) samples among the survivors — the same
+	// degraded-mode law as internal/lb — so a crash of k of N at fixed
+	// offered load reproduces the (N−k, ρ·N/(N−k)) system. A churn run
+	// always executes on the interface loop; churn-free runs are
+	// untouched, bit-identical to their goldens. Churn cannot be
+	// combined with Trace.
+	Churn *workload.Churn
 }
 
 // TailEstimator selects how a run estimates sojourn quantiles.
@@ -143,6 +163,11 @@ type wiring struct {
 	// the event loop then draws each job's requirement at arrival and
 	// exposes per-server work through the workload.WorkQueues view.
 	workAware bool
+	// churn is the validated schedule (nil for churn-free runs, which
+	// keeps every existing path bit-identical); sqdD caches the SQ(d)
+	// policy's d for the degraded-mode live-set sampling (0 otherwise).
+	churn []workload.ChurnEvent
+	sqdD  int
 }
 
 // resolve validates the workload options against p and freezes them into a
@@ -185,6 +210,17 @@ func resolve(p sqd.Params, o Options) (wiring, error) {
 		return wiring{}, err
 	}
 	_, w.workAware = w.policy.(workload.WorkAware)
+	if s, ok := w.policy.(workload.SQD); ok {
+		w.sqdD = s.D
+	}
+	evs, err := validateChurn(o.Churn, p.N)
+	if err != nil {
+		return wiring{}, err
+	}
+	w.churn = evs
+	if len(evs) > 0 && o.Trace != nil {
+		return wiring{}, fmt.Errorf("sim: churn and tracing cannot be combined (queue redistribution breaks the tracer's per-server span bookkeeping)")
+	}
 	return w, nil
 }
 
@@ -378,16 +414,45 @@ type farm struct {
 	// O(log N) instead of the O(N) scan that dominates large-N sweeps.
 	lenTree  *minindex.Seq
 	workTree *minindex.Seq
+
+	// Failure-domain state, allocated only for churn runs (nil slices on
+	// every churn-free path — zero cost beyond a nil check in Len/Work).
+	// down marks departed/crashed servers, downCnt counts them, live is
+	// the compact live-server list the degraded-mode SQ(d) samples from,
+	// and slow holds per-server service-duration multipliers (1 = none).
+	down    []bool
+	downCnt int
+	live    []int
+	slow    []float64
 }
 
-func (f *farm) N() int        { return len(f.servers) }
-func (f *farm) Len(i int) int { return f.servers[i].length() }
+func (f *farm) N() int { return len(f.servers) }
+
+// Len reports a down server as worst-possible, so length-scanning
+// pickers route around it; the loop's next-alive probe is then only a
+// race-free backstop for policies that don't read lengths at all.
+func (f *farm) Len(i int) int {
+	if f.down != nil && f.down[i] {
+		return math.MaxInt32
+	}
+	return f.servers[i].length()
+}
 
 // note re-keys server i in whichever index is active. The workTree key is
 // pending/speed + completion — the absolute-time form of Work(i): among
 // busy servers "− now" is a common shift that argmin ignores, and an idle
 // server keys at 0, below every busy server's completion ≥ now ≥ 0.
 func (f *farm) note(i int) {
+	if f.down != nil && f.down[i] {
+		// Masked out of both indexes while down; restore re-keys.
+		if f.lenTree != nil {
+			f.lenTree.Update(i, math.Inf(1))
+		}
+		if f.workTree != nil {
+			f.workTree.Update(i, math.Inf(1))
+		}
+		return
+	}
 	s := &f.servers[i]
 	if f.lenTree != nil {
 		f.lenTree.Update(i, float64(s.length()))
@@ -418,6 +483,9 @@ func (f *farm) ArgminWork(rng *rand.Rand) (int, bool) {
 }
 
 func (f *farm) Work(i int) float64 {
+	if f.down != nil && f.down[i] {
+		return math.Inf(1)
+	}
 	s := &f.servers[i]
 	if s.length() == 0 {
 		return 0
@@ -438,12 +506,17 @@ func (f *farm) Work(i int) float64 {
 // green (they pin each path against the same pre-workload goldens).
 func runStream(p sqd.Params, w wiring, jobs, warmup, batchSize int64, seed uint64, tail TailEstimator, rec *trace.Recorder) *stats.Stream {
 	res := newSimStream(batchSize, tail)
-	if tr := newTypedRunner(p, w, warmup, res, seed); tr != nil {
-		if rec != nil {
-			tr.st.tr = newSimTracer(rec, p.N)
+	// Churn runs always take the interface loop: membership changes are
+	// control-plane-rare, and keeping them out of the typed loops keeps
+	// those loops — and their bit-identity goldens — untouched.
+	if len(w.churn) == 0 {
+		if tr := newTypedRunner(p, w, warmup, res, seed); tr != nil {
+			if rec != nil {
+				tr.st.tr = newSimTracer(rec, p.N)
+			}
+			tr.run(jobs)
+			return res
 		}
-		tr.run(jobs)
-		return res
 	}
 
 	// frand is bit-identical to rand.NewPCG, so the fallback stream stays
@@ -486,6 +559,14 @@ func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rn
 	// Box the farm view once; passing the struct would re-box (and heap
 	// allocate) on every Pick.
 	wf := &farm{servers: servers, speeds: w.speeds}
+	if len(w.churn) > 0 {
+		wf.down = make([]bool, p.N)
+		wf.slow = make([]float64, p.N)
+		for i := range wf.slow {
+			wf.slow[i] = 1
+		}
+		wf.rebuildLive()
+	}
 	if p.N >= minindex.Threshold {
 		// Sub-linear dispatch: global-argmin policies get a maintained
 		// min-index; below the threshold (and for O(d) policies) the
@@ -504,9 +585,18 @@ func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rn
 
 	nextArrival := src.Next(rng)
 	var departed int64
+	churn := w.churn
+	ci := 0
 
 	for res.N() < jobs {
 		minC, minI := trk.min()
+		if ci < len(churn) && churn[ci].T <= minC && churn[ci].T <= nextArrival {
+			// Churn is the third event source, firing ahead of any
+			// arrival or completion at the same instant.
+			applyChurnSim(churn[ci], wf, trk, rng, svc, &w, picker, queues, res)
+			ci++
+			continue
+		}
 		if nextArrival <= minC {
 			now := nextArrival
 			nextArrival = now + src.Next(rng)
@@ -514,21 +604,29 @@ func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rn
 			if w.workAware {
 				wf.now = now
 				req := svc.Sample(rng)
-				best = picker.Pick(rng, queues)
+				best = pickLive(rng, picker, queues, wf, w.sqdD)
 				sv := &servers[best]
 				sv.pushWork(now, req)
 				if sv.length() == 1 {
-					sv.completion = now + req/speeds[best]
+					x := req / speeds[best]
+					if wf.slow != nil && wf.slow[best] != 1 {
+						x *= wf.slow[best]
+					}
+					sv.completion = now + x
 					trk.update(best, sv.completion)
 				} else {
 					sv.pending += req
 				}
 			} else {
-				best = picker.Pick(rng, queues)
+				best = pickLive(rng, picker, queues, wf, w.sqdD)
 				sv := &servers[best]
 				sv.push(now)
 				if sv.length() == 1 {
-					sv.completion = now + svc.Sample(rng)/speeds[best]
+					x := svc.Sample(rng) / speeds[best]
+					if wf.slow != nil && wf.slow[best] != 1 {
+						x *= wf.slow[best]
+					}
+					sv.completion = now + x
 					trk.update(best, sv.completion)
 				}
 			}
@@ -553,7 +651,11 @@ func runInterfaceLoop(p sqd.Params, w wiring, servers []server, trk *tracker, rn
 			} else {
 				req = svc.Sample(rng)
 			}
-			sv.completion = now + req/speeds[minI]
+			x := req / speeds[minI]
+			if wf.slow != nil && wf.slow[minI] != 1 {
+				x *= wf.slow[minI]
+			}
+			sv.completion = now + x
 		} else {
 			sv.completion = math.Inf(1)
 		}

@@ -249,6 +249,69 @@ func (s *Sketch) Quantile(q float64) float64 {
 	return s.max
 }
 
+// DiffQuantile returns the q-quantile of the observations recorded
+// between the snapshot prev and the current state — the windowed tail
+// behind cmd/lbd's SLO-guarded load shedding, where successive
+// Recorder.TailSketch snapshots difference into a per-window p99
+// without resetting the lifetime accumulator. Differencing is exact
+// because the sketch is a pure function of the observed multiset:
+// subtracting prev's counts bucket-wise leaves precisely the window's
+// counts, with prev's buckets below the current collapse cutoff folded
+// into the cutoff bucket (where canonical collapsing moved them). prev
+// must be an earlier snapshot of this same stream with the same
+// configuration; nil prev means "since the beginning". The bool is
+// false when the window holds no observations.
+func (s *Sketch) DiffQuantile(prev *Sketch, q float64) (float64, bool) {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("stats: quantile level %v outside (0,1)", q))
+	}
+	if prev == nil {
+		return s.Quantile(q), s.n > 0
+	}
+	if prev.gamma != s.gamma || len(prev.counts) != len(s.counts) {
+		s.mismatch(prev)
+	}
+	dn := s.n - prev.n
+	if dn <= 0 {
+		return 0, false
+	}
+	target := q * float64(dn)
+	cum := float64(s.zero - prev.zero)
+	if cum >= target && s.zero > prev.zero {
+		return 0, true
+	}
+	// Counts prev recorded below the current window were folded into
+	// s.lo by a collapse after the snapshot; subtract them there.
+	var prevBelow int64
+	if prev.posN > 0 {
+		for j := prev.lo; j < s.lo && j <= prev.hi; j++ {
+			prevBelow += prev.counts[j&prev.mask]
+		}
+	}
+	for i := s.lo; i <= s.hi && s.posN > 0; i++ {
+		c := s.counts[i&s.mask]
+		if prev.posN > 0 && i >= prev.lo && i <= prev.hi {
+			c -= prev.counts[i&prev.mask]
+		}
+		if i == s.lo {
+			c -= prevBelow
+		}
+		if c <= 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= target {
+			// s.max is the lifetime maximum — an upper clamp for the
+			// window too, so the estimate stays conservative.
+			if v := s.valCoef * math.Pow(s.gamma, float64(i)); v < s.max {
+				return v, true
+			}
+			return s.max, true
+		}
+	}
+	return s.max, true
+}
+
 // Tail returns the empirical P(X > x), over-counting by at most the
 // partial bucket containing x (a relative slack of α in x).
 func (s *Sketch) Tail(x float64) float64 {

@@ -222,6 +222,111 @@ func TestSketchZeroHeavy(t *testing.T) {
 	}
 }
 
+// snapshot deep-copies a sketch the way lb.Recorder.TailSketch does:
+// fresh sketch + Merge, which is bit-exact by the mergeability law.
+func snapshot(s *Sketch) *Sketch {
+	c := NewSketch(s.alpha, len(s.counts))
+	c.Merge(s)
+	return c
+}
+
+// TestSketchDiffQuantileOracle: the quantile of the window between two
+// snapshots must match the exact quantile of just the window's
+// observations within α — the correctness criterion for cmd/lbd's
+// windowed p99 shedding signal, which differences successive TailSketch
+// snapshots instead of resetting the lifetime accumulator.
+func TestSketchDiffQuantileOracle(t *testing.T) {
+	sk := NewSketch(DefaultAlpha, DefaultSketchBudget)
+	rng := rand.New(rand.NewPCG(17, 4))
+	// Phase 1: a light-load regime.
+	for i := 0; i < 50_000; i++ {
+		sk.Add(rng.ExpFloat64())
+	}
+	prev := snapshot(sk)
+	// Phase 2: a degraded regime with a 10× heavier tail — the window
+	// the shedding signal must see, undiluted by phase 1.
+	window := make([]float64, 30_000)
+	for i := range window {
+		x := 10 * rng.ExpFloat64()
+		window[i] = x
+		sk.Add(x)
+	}
+	sort.Float64s(window)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := window[int(math.Ceil(q*float64(len(window))))-1]
+		got, ok := sk.DiffQuantile(prev, q)
+		if !ok {
+			t.Fatalf("q%v: ok = false on a 30k-observation window", q)
+		}
+		if relErr := math.Abs(got-exact) / exact; relErr > DefaultAlpha*(1+1e-9) {
+			t.Errorf("window q%v = %v, exact %v (rel err %.4f > α)", q, got, exact, relErr)
+		}
+		// The lifetime quantile is diluted by phase 1 and must sit well
+		// below the window quantile — differencing is load-bearing.
+		if life := sk.Quantile(q); life >= got {
+			t.Errorf("q%v: lifetime %v ≥ window %v; expected dilution", q, life, got)
+		}
+	}
+}
+
+// TestSketchDiffQuantileEdges pins the boundary behavior: empty window,
+// nil snapshot, zero-only window, and a collapse landing between the
+// snapshots.
+func TestSketchDiffQuantileEdges(t *testing.T) {
+	sk := NewSketch(DefaultAlpha, 64)
+	rng := rand.New(rand.NewPCG(5, 12))
+	for i := 0; i < 1000; i++ {
+		sk.Add(rng.ExpFloat64())
+	}
+
+	if _, ok := sk.DiffQuantile(snapshot(sk), 0.99); ok {
+		t.Error("empty window reported ok = true")
+	}
+	if got, ok := sk.DiffQuantile(nil, 0.5); !ok || got != sk.Quantile(0.5) {
+		t.Errorf("nil snapshot: (%v, %v), want the lifetime quantile %v", got, ok, sk.Quantile(0.5))
+	}
+
+	prev := snapshot(sk)
+	sk.Add(0)
+	sk.Add(0)
+	if got, ok := sk.DiffQuantile(prev, 0.5); !ok || got != 0 {
+		t.Errorf("zero-only window q0.5 = (%v, %v), want (0, true)", got, ok)
+	}
+
+	// Force a collapse after the snapshot: with budget 64 (~half a decade
+	// at α=1%), 1e9-scale observations fold the phase-1 buckets into the
+	// cutoff. The window's upper tail must stay α-accurate regardless.
+	prev = snapshot(sk)
+	window := make([]float64, 5000)
+	for i := range window {
+		x := 1e9 * rng.ExpFloat64()
+		window[i] = x
+		sk.Add(x)
+	}
+	if !sk.Clamped() {
+		t.Fatal("collapse did not trigger; widen the scale gap")
+	}
+	sort.Float64s(window)
+	exact := window[int(math.Ceil(0.99*float64(len(window))))-1]
+	got, ok := sk.DiffQuantile(prev, 0.99)
+	if !ok {
+		t.Fatal("post-collapse window reported ok = false")
+	}
+	if relErr := math.Abs(got-exact) / exact; relErr > DefaultAlpha*(1+1e-9) {
+		t.Errorf("post-collapse window q0.99 = %v, exact %v (rel err %.4f > α)", got, exact, relErr)
+	}
+
+	// Mismatched configuration panics like Merge.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched DiffQuantile did not panic")
+			}
+		}()
+		sk.DiffQuantile(NewSketch(0.02, 64), 0.5)
+	}()
+}
+
 // TestSketchPanics pins the validation surface.
 func TestSketchPanics(t *testing.T) {
 	sk := NewSketch(0.01, 64)

@@ -53,6 +53,10 @@ type Span struct {
 	Server int32  // chosen server id, −1 before the pick
 	QLen   int32  // queue length seen at the pick, before this job joined
 	Ties   int32  // candidates tied at the minimum (≥1), −1 if the policy doesn't report
+	// Failure-domain fields: how many times the job was redelivered
+	// before this span closed, and how it left the system.
+	Retries int32
+	Outcome uint8
 	// Lifecycle timestamps, in producer units.
 	Arrival  float64 // job observed by the dispatcher
 	Picked   float64 // destination decided
@@ -67,6 +71,13 @@ type Handle int32
 
 // None is the handle of an untraced job.
 const None Handle = -1
+
+// Span outcomes. Zero means "unset" (spans published before the
+// failure-domain fields existed decode as unset).
+const (
+	OutcomeCompleted uint8 = 1 // served to completion
+	OutcomeDropped   uint8 = 2 // left unserved: deadline expired or retry budget exhausted
+)
 
 // Config sizes a Recorder. Zero values select the defaults; Cap,
 // Sample and Pending are rounded up to powers of two.
@@ -90,7 +101,7 @@ const (
 const traceStream = 0x7472616365 // "trace"
 
 // slotWords is the span encoding width: seq, five timestamps,
-// server|qlen, ties.
+// server|qlen, ties|retries|outcome.
 const slotWords = 8
 
 // slot is one ring entry: a seqlock version (even = stable, odd =
@@ -250,8 +261,21 @@ func (r *Recorder) Started(h Handle, now float64) {
 	r.pend[h].span.Start = now
 }
 
-// Done completes the span: publishes it to the ring, feeds the stage
-// sketches, and releases the pending slot.
+// Retried notes one redelivery of the traced job: its copy was
+// requeued (crash, graceful leave, or a hedge) and will run again. The
+// count survives into the published span.
+//
+//finitelb:hotpath
+func (r *Recorder) Retried(h Handle) {
+	if h < 0 {
+		return
+	}
+	r.pend[h].span.Retries++
+}
+
+// Done completes the span: publishes it to the ring with
+// OutcomeCompleted, feeds the stage sketches, and releases the pending
+// slot.
 //
 //finitelb:hotpath
 func (r *Recorder) Done(h Handle, now float64) {
@@ -260,10 +284,30 @@ func (r *Recorder) Done(h Handle, now float64) {
 	}
 	p := &r.pend[h]
 	p.span.Done = now
+	p.span.Outcome = OutcomeCompleted
 	sp := p.span
 	p.state.Store(0)
 	r.publish(&sp)
 	r.observe(&sp)
+}
+
+// Drop completes the span for a job that left the system unserved
+// after admission (deadline expired, retry budget exhausted): the span
+// is published with OutcomeDropped so the flight recorder shows *why*
+// the job vanished, but it does not feed the stage sketches — a
+// dropped job has no service decomposition.
+//
+//finitelb:hotpath
+func (r *Recorder) Drop(h Handle, now float64) {
+	if h < 0 {
+		return
+	}
+	p := &r.pend[h]
+	p.span.Done = now
+	p.span.Outcome = OutcomeDropped
+	sp := p.span
+	p.state.Store(0)
+	r.publish(&sp)
 }
 
 // Abort releases a claimed span without publishing (the job left the
@@ -299,7 +343,9 @@ func (r *Recorder) publish(sp *Span) {
 	sl.data[4].Store(math.Float64bits(sp.Start))
 	sl.data[5].Store(math.Float64bits(sp.Done))
 	sl.data[6].Store(uint64(uint32(sp.Server))<<32 | uint64(uint32(sp.QLen)))
-	sl.data[7].Store(uint64(uint32(sp.Ties)))
+	sl.data[7].Store(uint64(uint32(sp.Ties)) |
+		uint64(uint16(sp.Retries))<<32 |
+		uint64(sp.Outcome)<<48)
 	sl.ver.Add(1)
 }
 
@@ -381,6 +427,8 @@ func decodeSpan(d *[slotWords]uint64) Span {
 		Server:   int32(uint32(d[6] >> 32)),
 		QLen:     int32(uint32(d[6])),
 		Ties:     int32(uint32(d[7])),
+		Retries:  int32(uint16(d[7] >> 32)),
+		Outcome:  uint8(d[7] >> 48),
 	}
 }
 

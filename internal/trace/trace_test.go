@@ -228,3 +228,53 @@ func TestConcurrentWritersAndReaders(t *testing.T) {
 		t.Fatalf("stage sketches inconsistent: %d/%d/%d", st.N, st.Pick.N(), st.Service.N())
 	}
 }
+
+func TestRetryAndOutcomeRoundTrip(t *testing.T) {
+	r := New(Config{Sample: 1, Cap: 64})
+
+	// A retried job: two redeliveries, then completion.
+	h := r.Start(0)
+	r.Picked(h, 1, 2, 0, 1)
+	r.Enqueued(h, 2)
+	r.Retried(h)
+	r.Retried(h)
+	r.Started(h, 5)
+	r.Done(h, 9)
+
+	// A dropped job: deadline expired after one redelivery.
+	h = r.Start(10)
+	r.Picked(h, 11, 0, 3, -1)
+	r.Enqueued(h, 12)
+	r.Retried(h)
+	r.Drop(h, 20)
+
+	spans := r.Spans(-1)
+	if len(spans) != 2 {
+		t.Fatalf("Spans returned %d, want 2", len(spans))
+	}
+	drop, done := spans[0], spans[1] // most recent first
+	if done.Retries != 2 || done.Outcome != OutcomeCompleted {
+		t.Errorf("completed span retries=%d outcome=%d, want 2/%d", done.Retries, done.Outcome, OutcomeCompleted)
+	}
+	if done.Ties != 1 || done.Server != 2 {
+		t.Errorf("completed span lost decision fields: %+v", done)
+	}
+	if drop.Retries != 1 || drop.Outcome != OutcomeDropped {
+		t.Errorf("dropped span retries=%d outcome=%d, want 1/%d", drop.Retries, drop.Outcome, OutcomeDropped)
+	}
+	if drop.Ties != -1 {
+		t.Errorf("dropped span ties=%d, want -1 (packing must not bleed into ties)", drop.Ties)
+	}
+	if drop.Done != 20 {
+		t.Errorf("dropped span done=%v, want the drop time 20", drop.Done)
+	}
+
+	// Drops do not feed the stage sketches.
+	if st := r.Stages(); st.N != 1 {
+		t.Errorf("stage N=%d after 1 completion + 1 drop, want 1", st.N)
+	}
+	// Drop is a completion for accounting purposes: published, not aborted.
+	if r.Published() != 2 || r.Aborted() != 0 {
+		t.Errorf("published=%d aborted=%d, want 2/0", r.Published(), r.Aborted())
+	}
+}
